@@ -1,0 +1,176 @@
+// Command mlptool is the paper's method as a tool: it profiles a routine
+// on a simulated platform, computes the Little's-Law MLP / MSHR-occupancy
+// metric, narrates the Figure-1 recipe, and lists the verdict for every
+// optimization the recipe rules on.
+//
+// Usage:
+//
+//	mlptool -platform KNL -workload ISx
+//	mlptool -platform KNL -workload ISx -vect -threads 2
+//	mlptool -platform SKL -workload MiniGhost -tiled
+//	mlptool -platform SKL -workload SNAP -explain       # recipe narration only
+//	mlptool -profile prof.json ...                      # reuse a saved X-Mem profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"littleslaw/internal/access"
+	"littleslaw/internal/autotune"
+	"littleslaw/internal/core"
+	"littleslaw/internal/memsys"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/sim"
+	"littleslaw/internal/workloads"
+	"littleslaw/internal/xmem"
+)
+
+func main() {
+	platName := flag.String("platform", "SKL", "platform: SKL, KNL or A64FX")
+	workName := flag.String("workload", "ISx", "workload: ISx, HPCG, PENNANT, CoMD, MiniGhost or SNAP")
+	threads := flag.Int("threads", 1, "hardware threads per core (SMT)")
+	vect := flag.Bool("vect", false, "vectorized variant")
+	tiled := flag.Bool("tiled", false, "loop-tiled variant")
+	pref := flag.Bool("l2pref", false, "L2 software-prefetch variant")
+	nofuse := flag.Bool("nofuse", false, "loop fusion disabled")
+	scale := flag.Float64("scale", 0.3, "work scale factor")
+	profilePath := flag.String("profile", "", "bandwidth-latency profile JSON (default: characterize now)")
+	explainOnly := flag.Bool("explain", false, "print only the recipe narration")
+	tune := flag.Bool("autotune", false, "run the Figure-1 loop to a fixed point instead of a single analysis")
+	classifyPattern := flag.Bool("classify", false, "derive the random-vs-streaming classification from the access stream instead of the workload's own flag")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mlptool:", err)
+		os.Exit(1)
+	}
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+	w, ok := workloads.ByName(*workName)
+	if !ok {
+		fail(fmt.Errorf("unknown workload %q (want one of %s)", *workName, workloadNames()))
+	}
+	w = w.WithVariant(workloads.Variant{
+		Vectorized:   *vect,
+		Tiled:        *tiled,
+		SWPrefetchL2: *pref,
+		NoFuse:       *nofuse,
+	})
+
+	var curve *queueing.Curve
+	if *profilePath != "" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			fail(err)
+		}
+		prof, err := xmem.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if prof.Platform != p.Name {
+			fail(fmt.Errorf("profile is for %s, not %s", prof.Platform, p.Name))
+		}
+		curve, err = prof.Curve()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "mlptool: characterizing %s (once per platform; save with xmemprof)...\n", p.Name)
+		curve, err = xmem.ProfileFor(p)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *tune {
+		fmt.Fprintf(os.Stderr, "mlptool: autotuning %s on %s (the Figure-1 loop)...\n", w.Name(), p.Name)
+		res, err := autotune.Tune(p, curve, w, autotune.Options{Scale: *scale, UserIntuition: true})
+		if err != nil {
+			fail(err)
+		}
+		for i, s := range res.Steps {
+			verdict := "rejected"
+			if s.Accepted {
+				verdict = "ACCEPTED"
+			}
+			fmt.Printf("step %d: n_avg %.2f of %d %s MSHRs → try %s → %.2fx (%s)\n",
+				i+1, s.Report.Occupancy, s.Report.LimiterCapacity, s.Report.Limiter,
+				s.Tried, s.Speedup, verdict)
+		}
+		fmt.Printf("\nfinal: %s with %d thread(s)/core — %.2fx over base\n",
+			res.FinalVariant.Label(res.FinalThreads), res.FinalThreads, res.TotalSpeedup)
+		fmt.Println(core.Explain(res.FinalReport))
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "mlptool: running %s/%s (%s) on the %d-core node...\n",
+		w.Name(), w.Routine(), w.Variant().Label(*threads), p.Cores)
+	res, err := sim.Run(w.Config(p, *threads, *scale))
+	if err != nil {
+		fail(err)
+	}
+
+	random := w.RandomAccess()
+	if *classifyPattern {
+		cls, err := access.NewClassifier(p.LineBytes)
+		if err != nil {
+			fail(err)
+		}
+		gen := w.Config(p, 1, *scale).NewGen(0, 0)
+		for i := 0; i < 20000; i++ {
+			op, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if op.Kind == memsys.Load || op.Kind == memsys.Store {
+				cls.Observe(op.Addr)
+			}
+		}
+		prof := cls.Profile()
+		random = prof.RandomAccess()
+		fmt.Printf("pattern: %s\n", prof)
+	}
+
+	rep, err := core.Analyze(p, curve, core.Measurement{
+		Routine:                w.Routine(),
+		BandwidthGBs:           res.TotalGBs,
+		ActiveCores:            res.Cores,
+		ThreadsPerCore:         *threads,
+		PrefetchedReadFraction: res.PrefetchedReadFraction,
+		RandomAccess:           random,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println(core.Explain(rep))
+	if *explainOnly {
+		return
+	}
+
+	fmt.Printf("measured:  %.1f GB/s (reads %.1f, writebacks %.1f), prefetched fraction %.2f\n",
+		res.TotalGBs, res.ReadGBs, res.WriteGBs, res.PrefetchedReadFraction)
+	fmt.Printf("simulator ground truth: L1 MSHR occupancy %.2f, L2 %.2f, DRAM latency %.0f ns\n\n",
+		res.TrueL1Occ, res.TrueL2Occ, res.MeanDRAMLatencyNs)
+
+	fmt.Println("Recipe verdicts:")
+	for _, a := range core.Advise(rep, w.Capabilities(p, *threads)) {
+		fmt.Printf("  %-24s %-10s %s\n", a.Opt, a.Stance, a.Reason)
+	}
+}
+
+func workloadNames() string {
+	var names []string
+	for _, w := range workloads.All() {
+		names = append(names, w.Name())
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,214 @@
+// Command tracetool records, inspects and analyzes memory-operation
+// traces. Traces decouple the analysis pipeline from the bundled workload
+// models: record one thread of a model (or convert a real application's
+// trace into the format) and push it through the classifier and the
+// Little's-Law metric.
+//
+// Usage:
+//
+//	tracetool record  -platform SKL -workload ISx -o isx.trace [-ops 50000]
+//	tracetool info    isx.trace
+//	tracetool analyze -platform SKL isx.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"littleslaw/internal/access"
+	"littleslaw/internal/core"
+	"littleslaw/internal/cpu"
+	"littleslaw/internal/memsys"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/sim"
+	"littleslaw/internal/tracefile"
+	"littleslaw/internal/workloads"
+	"littleslaw/internal/xmem"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail(fmt.Errorf("usage: tracetool record|info|analyze ..."))
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "analyze":
+		analyze(os.Args[2:])
+	default:
+		fail(fmt.Errorf("unknown subcommand %q", os.Args[1]))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	platName := fs.String("platform", "SKL", "platform the trace's line size comes from")
+	workName := fs.String("workload", "ISx", "workload to record")
+	out := fs.String("o", "", "output trace file (required)")
+	ops := fs.Int("ops", 0, "record at most this many operations (0 = whole stream)")
+	scale := fs.Float64("scale", 0.2, "workload scale")
+	fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("record: -o is required"))
+	}
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+	w, ok := workloads.ByName(*workName)
+	if !ok {
+		fail(fmt.Errorf("unknown workload %q", *workName))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tw, err := tracefile.NewWriter(f, tracefile.Header{LineBytes: p.LineBytes})
+	if err != nil {
+		fail(err)
+	}
+	n, err := tracefile.Record(tw, w.Config(p, 1, *scale).NewGen(0, 0), *ops)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracetool: wrote %d operations to %s\n", n, *out)
+}
+
+func openTrace(path string) (*tracefile.Reader, *os.File) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		fail(err)
+	}
+	return r, f
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("info: one trace file expected"))
+	}
+	r, f := openTrace(fs.Arg(0))
+	defer f.Close()
+
+	cls, err := access.NewClassifier(r.Header.LineBytes)
+	if err != nil {
+		fail(err)
+	}
+	var loads, stores, prefetches int
+	for {
+		op, err := r.Read()
+		if err != nil {
+			break
+		}
+		switch op.Kind {
+		case memsys.Load:
+			loads++
+			cls.Observe(op.Addr)
+		case memsys.Store:
+			stores++
+			cls.Observe(op.Addr)
+		default:
+			prefetches++
+		}
+	}
+	prof := cls.Profile()
+	fmt.Printf("line size:  %d B\n", r.Header.LineBytes)
+	fmt.Printf("operations: %d loads, %d stores, %d prefetches\n", loads, stores, prefetches)
+	fmt.Printf("pattern:    %s\n", prof)
+	fmt.Printf("recipe view: random-access=%v, tiling signal=%v\n", prof.RandomAccess(), prof.TilingSignal())
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	platName := fs.String("platform", "SKL", "platform to replay on")
+	cores := fs.Int("cores", 0, "cores replaying the trace (0 = full node)")
+	window := fs.Int("window", 8, "per-thread demand window")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("analyze: one trace file expected"))
+	}
+	path := fs.Arg(0)
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+
+	// Classify first (for the recipe's pattern input).
+	r, f := openTrace(path)
+	cls, err := access.NewClassifier(r.Header.LineBytes)
+	if err != nil {
+		fail(err)
+	}
+	for {
+		op, err := r.Read()
+		if err != nil {
+			break
+		}
+		if op.Kind == memsys.Load || op.Kind == memsys.Store {
+			cls.Observe(op.Addr)
+		}
+	}
+	f.Close()
+	prof := cls.Profile()
+
+	fmt.Fprintf(os.Stderr, "tracetool: characterizing %s...\n", p.Name)
+	curve, err := xmem.ProfileFor(p)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "tracetool: replaying %s on every core of the %s node...\n", path, p.Name)
+	res, err := sim.Run(sim.Config{
+		Plat:   p,
+		Cores:  *cores,
+		Window: *window,
+		NewGen: func(coreID, threadID int) cpu.Generator {
+			tr, file := openTrace(path)
+			_ = file // closed on process exit; traces are replayed once
+			return offsetGen{inner: tracefile.NewGenerator(tr), offset: uint64(coreID+1) << 40}
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	rep, err := core.Analyze(p, curve, core.Measurement{
+		Routine:                path,
+		BandwidthGBs:           res.TotalGBs,
+		ActiveCores:            res.Cores,
+		PrefetchedReadFraction: res.PrefetchedReadFraction,
+		RandomAccess:           prof.RandomAccess(),
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("pattern: %s\n\n", prof)
+	fmt.Println(core.Explain(rep))
+}
+
+// offsetGen shifts a trace's addresses into a per-core arena so replayed
+// copies do not falsely share lines across cores.
+type offsetGen struct {
+	inner  cpu.Generator
+	offset uint64
+}
+
+func (g offsetGen) Next() (cpu.Op, bool) {
+	op, ok := g.inner.Next()
+	op.Addr += g.offset
+	return op, ok
+}

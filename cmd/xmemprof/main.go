@@ -1,0 +1,81 @@
+// Command xmemprof runs the X-Mem-style memory characterization for a
+// platform and prints (or saves) its bandwidth→latency profile — the
+// once-per-processor artifact of the paper's methodology (footnote 2).
+//
+// Usage:
+//
+//	xmemprof -platform SKL                  # print the profile
+//	xmemprof -platform KNL -o knl.json      # save as JSON for mlptool -profile
+//	xmemprof -platform A64FX -probes 500    # higher-precision sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/textplot"
+	"littleslaw/internal/xmem"
+)
+
+func main() {
+	platName := flag.String("platform", "SKL", "platform: SKL, KNL or A64FX")
+	out := flag.String("o", "", "write the profile as JSON to this file")
+	probes := flag.Int("probes", 300, "latency-probe samples per operating point")
+	plot := flag.Bool("plot", false, "render the profile as a terminal chart")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "xmemprof:", err)
+		os.Exit(1)
+	}
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "xmemprof: sweeping %s (%d cores, %s %.0f GB/s theoretical)...\n",
+		p.Name, p.Cores, p.Memory.Tech, p.PeakGBs())
+	curve, err := xmem.Characterize(p, xmem.Options{ProbeOps: *probes})
+	if err != nil {
+		fail(err)
+	}
+
+	prof := xmem.NewProfile(p, curve)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := prof.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "xmemprof: wrote %s\n", *out)
+		return
+	}
+
+	fmt.Printf("# %s bandwidth→latency profile (idle %.1f ns, achievable %.1f GB/s of %.0f theoretical)\n",
+		p.Name, curve.IdleLatencyNs(), curve.MaxBandwidthGBs(), p.PeakGBs())
+	if *plot {
+		pts := curve.Points()
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, pt := range pts {
+			xs[i] = pt.BandwidthGBs
+			ys[i] = pt.LatencyNs
+		}
+		chart, err := textplot.Render([]textplot.Series{{Name: "loaded latency", X: xs, Y: ys}},
+			textplot.Options{Title: p.Name + " bandwidth→latency profile", XLabel: "GB/s", YLabel: "ns"})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(chart)
+		return
+	}
+	fmt.Println("bandwidth_gbs,latency_ns")
+	for _, pt := range curve.Points() {
+		fmt.Printf("%.2f,%.2f\n", pt.BandwidthGBs, pt.LatencyNs)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: the paper's method in five steps — characterize the machine
+// once, run a routine loaded, read bandwidth, apply Little's Law, follow
+// the recipe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"littleslaw"
+)
+
+func main() {
+	// 1. Pick a machine (Table III).
+	knl, err := littleslaw.Platform("KNL")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Measure its bandwidth→latency profile once (X-Mem, footnote 2).
+	fmt.Println("characterizing KNL (once per platform)...")
+	profile, err := littleslaw.Characterize(knl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  idle latency %.0f ns, achievable peak %.0f GB/s (theoretical %.0f)\n\n",
+		profile.IdleLatencyNs(), profile.MaxBandwidthGBs(), knl.PeakGBs())
+
+	// 3. Run the routine under analysis on the loaded node (Table II's ISx).
+	isx, err := littleslaw.Workload("ISx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := littleslaw.Run(isx, knl, 1, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ISx/count_local_keys: %.1f GB/s observed\n", res.TotalGBs)
+
+	// 4. The metric: Equation 2 turns bandwidth + looked-up latency into
+	// the average MSHR-queue occupancy.
+	report, err := littleslaw.Analyze(knl, profile, littleslaw.MeasurementFrom(isx, res))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(littleslaw.Explain(report))
+
+	// 5. The recipe (Figure 1): which optimizations are worth trying.
+	fmt.Println("recipe verdicts:")
+	for _, a := range littleslaw.Advise(report, isx.Capabilities(knl, 1)) {
+		fmt.Printf("  %-24s %-10s %s\n", a.Opt, a.Stance, a.Reason)
+	}
+}

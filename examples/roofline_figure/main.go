@@ -1,0 +1,23 @@
+// roofline_figure emits the data behind the paper's Figure 2 as CSV: the
+// KNL roofline series (DRAM roof, L2-MSHR and L1-MSHR ceilings, peak
+// GFLOP/s) plus the baseline (O) and optimized (O1) ISx points. Pipe the
+// output into any plotting tool.
+package main
+
+import (
+	"log"
+	"os"
+
+	"littleslaw/internal/experiments"
+)
+
+func main() {
+	r := experiments.NewRunner(experiments.Options{Scale: 0.2})
+	m, err := r.Figure2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

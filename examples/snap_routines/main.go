@@ -1,0 +1,78 @@
+// snap_routines demonstrates the paper's §III-D methodology point: collect
+// the metric per routine, not per program. A SNAP-like application is
+// profiled as its phases — the hot dim3_sweep plus lighter solver phases —
+// and the whole-program average is shown to wash the sweep's signal out
+// (the paper found the same on real SNAP: only the per-routine profile
+// revealed dim3_sweep as latency-bound and prefetchable).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"littleslaw"
+	"littleslaw/internal/profiler"
+	"littleslaw/internal/workloads"
+)
+
+func main() {
+	skl, err := littleslaw.Platform("SKL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("characterizing SKL...")
+	profile, err := littleslaw.Characterize(skl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap, err := littleslaw.Workload("SNAP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comd, err := littleslaw.Workload("CoMD") // stands in for SNAP's light phases
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := profiler.Profile(skl, profile, []profiler.Phase{
+		{
+			Name:       "dim3_sweep",
+			Config:     snap.Config(skl, 1, 0.2),
+			TimeWeight: 0.55,
+		},
+		{
+			Name:         "outer_solver",
+			Config:       comd.Config(skl, 1, 0.2),
+			TimeWeight:   0.45,
+			RandomAccess: true,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := app.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	sweep := app.Routines[0].Report
+	whole := app.WholeProgram
+	fmt.Printf("per-routine: dim3_sweep runs at n_avg %.2f with headroom → the recipe points at software prefetching.\n", sweep.Occupancy)
+	fmt.Printf("whole-program: the average (n_avg %.2f) blends the light solver in and undersells the sweep's memory problem.\n", whole.Occupancy)
+
+	// Confirm the per-routine guidance pays off.
+	pref := snap.WithVariant(workloads.Variant{SWPrefetchL2: true})
+	base, err := littleslaw.Run(snap, skl, 1, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := littleslaw.Run(pref, skl, 1, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplying software prefetching to dim3_sweep alone: %.2fx (the paper saw 8%% on SNAP's KNL run, 1%% on SKL).\n",
+		opt.Throughput/base.Throughput)
+}

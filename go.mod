@@ -1,0 +1,3 @@
+module littleslaw
+
+go 1.24

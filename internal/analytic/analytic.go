@@ -1,0 +1,129 @@
+// Package analytic provides the closed-form counterpart of the
+// discrete-event simulator: a fixed-point model of the closed core⇄memory
+// system in which each core sustains a given number of outstanding line
+// requests against the platform's bandwidth→latency curve. It serves as a
+// fast cross-check (the DESIGN.md ablation) and as the predictive tool a
+// user of the paper's method would apply before running anything.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// Prediction is the equilibrium operating point of the closed system.
+type Prediction struct {
+	BandwidthGBs float64 // node bandwidth at equilibrium
+	LatencyNs    float64 // loaded latency at that bandwidth
+	PerCoreMLP   float64 // outstanding lines per core actually sustained
+	Limited      string  // what bound the MLP: "window", "l1-mshr", "l2-mshr"
+}
+
+// Inputs describe one routine for the closed-form model.
+type Inputs struct {
+	// ConcurrencyPerThread is the demand MLP one thread exposes (window
+	// and issue-rate limited, before MSHR caps).
+	ConcurrencyPerThread float64
+	// ThreadsPerCore in the run.
+	ThreadsPerCore int
+	// L1Bound: the routine binds on the L1 MSHR file (random access);
+	// otherwise the L2 file caps in-flight lines.
+	L1Bound bool
+}
+
+// Predict solves the equilibrium: per-core in-flight lines n (capped by
+// the binding MSHR file), bandwidth BW = cores×n×cls/lat(BW).
+func Predict(p *platform.Platform, profile *queueing.Curve, in Inputs) (*Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("analytic: nil profile")
+	}
+	if in.ConcurrencyPerThread <= 0 {
+		return nil, fmt.Errorf("analytic: concurrency must be positive")
+	}
+	threads := in.ThreadsPerCore
+	if threads == 0 {
+		threads = 1
+	}
+	if threads < 1 || threads > p.SMTWays {
+		return nil, fmt.Errorf("analytic: %d threads/core outside 1..%d", threads, p.SMTWays)
+	}
+
+	n := in.ConcurrencyPerThread * float64(threads)
+	limited := "window"
+	cap := float64(p.L2.MSHRs)
+	capName := "l2-mshr"
+	if in.L1Bound {
+		cap = float64(p.L1.MSHRs)
+		capName = "l1-mshr"
+	}
+	if n >= cap {
+		n = cap
+		limited = capName
+	}
+
+	bw, lat := profile.SolveEquilibrium(n*float64(p.Cores), p.LineBytes)
+	return &Prediction{
+		BandwidthGBs: bw,
+		LatencyNs:    lat,
+		PerCoreMLP:   n,
+		Limited:      limited,
+	}, nil
+}
+
+// SpeedupFrom estimates the throughput ratio between two predictions for
+// the same routine (bandwidth ratio, since traffic per unit of work is
+// unchanged by MLP-raising optimizations).
+func SpeedupFrom(base, opt *Prediction) float64 {
+	if base.BandwidthGBs <= 0 {
+		return 0
+	}
+	return opt.BandwidthGBs / base.BandwidthGBs
+}
+
+// PredictCurve constructs a bandwidth→latency profile from the platform's
+// DRAM constants alone, using open-loop queueing approximations (M/D/c at
+// the banks, M/D/1 at each channel bus, on top of the uncontended path).
+// It exists as a cross-check on the measured X-Mem curve: the two are
+// independent derivations of the same machine and should agree at
+// moderate utilization (the DESIGN.md analytic-vs-DES ablation); near
+// saturation the closed-loop measurement is authoritative.
+func PredictCurve(p *platform.Platform, points int) (*queueing.Curve, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if points < 2 {
+		points = 12
+	}
+	m := p.Memory
+	idle := m.BaseLatencyNs + m.RowMissNs + m.TransferNs(p.LineBytes) +
+		p.CyclesNs(p.L1.HitCycles+p.L2.HitCycles)
+
+	// Service capacities in lines/ns.
+	bankSvcNs := m.RowMissNs // random traffic: row misses dominate under load
+	banks := float64(m.Channels * m.BanksPerChannel)
+	bankCap := banks / bankSvcNs
+	busSvcNs := m.TransferNs(p.LineBytes)
+	busCapPerChan := 1 / busSvcNs
+	lineGBs := float64(p.LineBytes) // GB/s per line/ns is lineBytes (1e9/1e9)
+
+	maxLines := math.Min(bankCap, busCapPerChan*float64(m.Channels)) * 0.98
+	var pts []queueing.CurvePoint
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1) * 0.97
+		lines := frac * maxLines
+		bankRho := lines / bankCap
+		busRho := lines / (busCapPerChan * float64(m.Channels))
+		lat := idle +
+			queueing.MDCWaitApprox(bankSvcNs, bankRho, 1)* // per-bank M/D/1 (hashed arrivals)
+				1 +
+			queueing.MDCWaitApprox(busSvcNs, busRho, 1)
+		pts = append(pts, queueing.CurvePoint{BandwidthGBs: lines * lineGBs, LatencyNs: lat})
+	}
+	return queueing.NewCurve(pts)
+}

@@ -1,0 +1,154 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/xmem"
+)
+
+func sklCurve() *queueing.Curve {
+	return queueing.MustCurve([]queueing.CurvePoint{
+		{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 37.9, LatencyNs: 93},
+		{BandwidthGBs: 92.9, LatencyNs: 117}, {BandwidthGBs: 106.9, LatencyNs: 145},
+		{BandwidthGBs: 112, LatencyNs: 220},
+	})
+}
+
+func TestPredictValidation(t *testing.T) {
+	p := platform.SKL()
+	if _, err := Predict(p, nil, Inputs{ConcurrencyPerThread: 1}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := Predict(p, sklCurve(), Inputs{}); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+	if _, err := Predict(p, sklCurve(), Inputs{ConcurrencyPerThread: 1, ThreadsPerCore: 8}); err == nil {
+		t.Fatal("SMT beyond platform accepted")
+	}
+}
+
+func TestMSHRCapBinds(t *testing.T) {
+	p := platform.SKL()
+	// ISx-like: 12 exposable misses per thread, random access → capped at
+	// the 10 L1 MSHRs; equilibrium near the paper's 106.9 GB/s @ 145 ns.
+	pred, err := Predict(p, sklCurve(), Inputs{ConcurrencyPerThread: 12, L1Bound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Limited != "l1-mshr" || pred.PerCoreMLP != 10 {
+		t.Fatalf("limited = %s, MLP = %v; want l1-mshr cap at 10", pred.Limited, pred.PerCoreMLP)
+	}
+	if math.Abs(pred.BandwidthGBs-106.9) > 8 {
+		t.Errorf("ISx-like equilibrium = %.1f GB/s, want ≈107 (paper)", pred.BandwidthGBs)
+	}
+	if pred.LatencyNs < 120 || pred.LatencyNs > 175 {
+		t.Errorf("equilibrium latency = %.0f ns, want ≈145", pred.LatencyNs)
+	}
+}
+
+func TestWindowBindsWhenBelowCap(t *testing.T) {
+	p := platform.SKL()
+	// PENNANT-like scalar: 2.3 per thread, far below any MSHR file.
+	pred, err := Predict(p, sklCurve(), Inputs{ConcurrencyPerThread: 2.3, L1Bound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Limited != "window" {
+		t.Fatalf("limited = %s, want window", pred.Limited)
+	}
+	if math.Abs(pred.BandwidthGBs-37.9) > 6 {
+		t.Errorf("PENNANT-like equilibrium = %.1f GB/s, want ≈38", pred.BandwidthGBs)
+	}
+}
+
+func TestSMTDoublesConcurrencyUntilCap(t *testing.T) {
+	p := platform.SKL()
+	one, _ := Predict(p, sklCurve(), Inputs{ConcurrencyPerThread: 3, ThreadsPerCore: 1, L1Bound: true})
+	two, _ := Predict(p, sklCurve(), Inputs{ConcurrencyPerThread: 3, ThreadsPerCore: 2, L1Bound: true})
+	if two.PerCoreMLP != 6 || one.PerCoreMLP != 3 {
+		t.Fatalf("SMT concurrency = %v/%v, want 3/6", one.PerCoreMLP, two.PerCoreMLP)
+	}
+	if s := SpeedupFrom(one, two); s < 1.5 || s > 2.05 {
+		t.Errorf("SMT speedup = %.2f, want near 2 below the cap", s)
+	}
+	// At the cap, more threads stop helping.
+	four, _ := Predict(p, sklCurve(), Inputs{ConcurrencyPerThread: 8, ThreadsPerCore: 2, L1Bound: true})
+	if four.Limited != "l1-mshr" {
+		t.Fatal("16 per-core misses should cap at the L1 file")
+	}
+}
+
+// TestAnalyticMatchesDESOnISx is the DESIGN.md ablation: the closed-form
+// equilibrium must agree with the measured X-Mem characterization within
+// tolerance, since both describe the same machine.
+func TestAnalyticMatchesDESOnISx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	p := platform.SKL()
+	curve, err := xmem.ProfileFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(p, curve, Inputs{ConcurrencyPerThread: 12, L1Bound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DES-generated Table IV ISx/SKL row lands at ~108 GB/s.
+	if pred.BandwidthGBs < 95 || pred.BandwidthGBs > 120 {
+		t.Errorf("analytic ISx/SKL = %.1f GB/s, DES measures ≈108", pred.BandwidthGBs)
+	}
+}
+
+func TestPredictCurveShape(t *testing.T) {
+	for _, p := range platform.All() {
+		c, err := PredictCurve(p, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// Monotone, anchored near the platform's idle path, saturating
+		// below the theoretical peak.
+		idleWant := p.Memory.BaseLatencyNs + p.Memory.RowMissNs +
+			p.Memory.TransferNs(p.LineBytes) + p.CyclesNs(p.L1.HitCycles+p.L2.HitCycles)
+		if math.Abs(c.IdleLatencyNs()-idleWant) > 2 {
+			t.Errorf("%s predicted idle %.1f, want %.1f", p.Name, c.IdleLatencyNs(), idleWant)
+		}
+		if c.MaxBandwidthGBs() >= p.PeakGBs() {
+			t.Errorf("%s predicted achievable %.1f ≥ theoretical %.1f", p.Name, c.MaxBandwidthGBs(), p.PeakGBs())
+		}
+		prev := 0.0
+		for _, pt := range c.Points() {
+			if pt.LatencyNs < prev {
+				t.Fatalf("%s predicted curve not monotone", p.Name)
+			}
+			prev = pt.LatencyNs
+		}
+	}
+}
+
+// TestPredictedVsMeasuredCurve is the analytic-vs-DES ablation: at
+// moderate utilization the open-loop prediction and the measured closed-
+// loop curve must agree within a modest factor.
+func TestPredictedVsMeasuredCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow")
+	}
+	p := platform.SKL()
+	measured, err := xmem.ProfileFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := PredictCurve(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bw := range []float64{10, 40, 70, 90} {
+		mp, pp := measured.LatencyAt(bw), predicted.LatencyAt(bw)
+		if ratio := pp / mp; ratio < 0.7 || ratio > 1.45 {
+			t.Errorf("at %.0f GB/s: predicted %.1f vs measured %.1f ns (ratio %.2f)", bw, pp, mp, ratio)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package autotune drives the paper's recipe end to end: the Figure-1
+// loop of measure → compute MSHR occupancy → pick an optimization the
+// recipe recommends → apply it → re-measure, repeated until the recipe has
+// nothing left to recommend or nothing recommended helps. It automates
+// exactly the manual process the paper's §IV case studies walk through.
+package autotune
+
+import (
+	"fmt"
+
+	"littleslaw/internal/core"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/sim"
+	"littleslaw/internal/workloads"
+)
+
+// Step records one iteration of the loop.
+type Step struct {
+	// Tried is the optimization the recipe picked.
+	Tried core.Optimization
+	// Report is the metric's view of the state *before* applying it.
+	Report *core.Report
+	// Speedup is the measured throughput ratio of applying it.
+	Speedup float64
+	// Accepted reports whether the change was kept.
+	Accepted bool
+}
+
+// Result is a completed tuning session.
+type Result struct {
+	Workload string
+	Platform string
+	Steps    []Step
+	// Final state and its cumulative speedup over the base run.
+	FinalVariant workloads.Variant
+	FinalThreads int
+	TotalSpeedup float64
+	// FinalReport is the metric's view of the final state.
+	FinalReport *core.Report
+}
+
+// Options tunes the loop.
+type Options struct {
+	// Scale is the per-run work scale (default 0.1).
+	Scale float64
+	// Cores simulated (0 = full node). Reduced nodes are faster but see
+	// proportionally less memory contention.
+	Cores int
+	// AcceptThreshold is the minimum speedup to keep a change (default 1.03).
+	AcceptThreshold float64
+	// MaxSteps bounds the loop (default 8).
+	MaxSteps int
+	// UserIntuition enables the §IV-F fallback: when the recipe has
+	// nothing left, try disabling compiler loop fusion on platforms with
+	// weak store forwarding.
+	UserIntuition bool
+}
+
+func (o *Options) normalize() {
+	if o.Scale == 0 {
+		o.Scale = 0.1
+	}
+	if o.AcceptThreshold == 0 {
+		o.AcceptThreshold = 1.03
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 8
+	}
+}
+
+// Tune runs the recipe loop for a workload on a platform.
+func Tune(p *platform.Platform, profile *queueing.Curve, w workloads.Workload, opts Options) (*Result, error) {
+	opts.normalize()
+	if profile == nil {
+		return nil, fmt.Errorf("autotune: nil profile")
+	}
+
+	state := w.Variant()
+	threads := 1
+	run := func(v workloads.Variant, th int) (*sim.Result, error) {
+		cfg := w.WithVariant(v).Config(p, th, opts.Scale)
+		if opts.Cores != 0 {
+			cfg.Cores = opts.Cores
+		}
+		return sim.Run(cfg)
+	}
+
+	cur, err := run(state, threads)
+	if err != nil {
+		return nil, err
+	}
+	baseThroughput := cur.Throughput
+
+	res := &Result{Workload: w.Name(), Platform: p.Name, FinalVariant: state, FinalThreads: threads}
+	tried := map[core.Optimization]bool{}
+
+	analyze := func(r *sim.Result, th int) (*core.Report, error) {
+		return core.Analyze(p, profile, core.Measurement{
+			Routine:                w.Routine(),
+			BandwidthGBs:           r.TotalGBs,
+			ActiveCores:            r.Cores,
+			ThreadsPerCore:         th,
+			PrefetchedReadFraction: r.PrefetchedReadFraction,
+			RandomAccess:           w.RandomAccess(),
+		})
+	}
+
+	for len(res.Steps) < opts.MaxSteps {
+		rep, err := analyze(cur, threads)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalReport = rep
+
+		caps := w.WithVariant(state).Capabilities(p, threads)
+		opt, nextVariant, nextThreads, ok := pickCandidate(rep, caps, state, threads, tried, p, opts)
+		if !ok {
+			break
+		}
+		tried[opt] = true
+
+		next, err := run(nextVariant, nextThreads)
+		if err != nil {
+			return nil, err
+		}
+		speedup := next.Throughput / cur.Throughput
+		accepted := speedup >= opts.AcceptThreshold
+		res.Steps = append(res.Steps, Step{Tried: opt, Report: rep, Speedup: speedup, Accepted: accepted})
+		if accepted {
+			state, threads, cur = nextVariant, nextThreads, next
+			res.FinalVariant, res.FinalThreads = state, threads
+		}
+	}
+
+	if res.FinalReport == nil {
+		rep, err := analyze(cur, threads)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalReport = rep
+	}
+	res.TotalSpeedup = cur.Throughput / baseThroughput
+	return res, nil
+}
+
+// pickCandidate chooses the next optimization per the recipe's priorities:
+// recommended MLP-raisers first (vectorization before SMT before deeper
+// SMT), then the L2-prefetch bottleneck shift, then traffic reducers, then
+// (optionally) the §IV-F user-intuition fusion fallback.
+func pickCandidate(rep *core.Report, caps core.Capabilities, v workloads.Variant, threads int,
+	tried map[core.Optimization]bool, p *platform.Platform, opts Options) (core.Optimization, workloads.Variant, int, bool) {
+
+	advice := core.Advise(rep, caps)
+	order := []core.Optimization{
+		core.Vectorize, core.SMT2, core.SoftwarePrefetchL2, core.SMT4, core.LoopTiling, core.LoopFusion,
+	}
+	for _, opt := range order {
+		if tried[opt] {
+			continue
+		}
+		if core.AdviceFor(advice, opt).Stance != core.Recommend {
+			continue
+		}
+		switch opt {
+		case core.Vectorize:
+			if !v.Vectorized {
+				nv := v
+				nv.Vectorized = true
+				return opt, nv, threads, true
+			}
+		case core.SMT2:
+			if threads < 2 && p.SMTWays >= 2 {
+				return opt, v, 2, true
+			}
+		case core.SMT4:
+			if threads == 2 && p.SMTWays >= 4 {
+				return opt, v, 4, true
+			}
+		case core.SoftwarePrefetchL2:
+			if !v.SWPrefetchL2 {
+				nv := v
+				nv.SWPrefetchL2 = true
+				return opt, nv, threads, true
+			}
+		case core.LoopTiling:
+			if caps.Tileable && !v.Tiled {
+				nv := v
+				nv.Tiled = true
+				return opt, nv, threads, true
+			}
+		case core.LoopFusion:
+			// The recipe's fusion recommendation is about *applying*
+			// fusion, which the compiler already did; nothing to rewrite.
+		}
+	}
+
+	// §IV-F user intuition: beyond the recipe, try un-fusing on cores that
+	// stall on store-to-load forwarding.
+	if opts.UserIntuition && caps.Fusable && !v.NoFuse && p.WeakStoreForwarding && !tried[core.DisableFusion] {
+		nv := v
+		nv.NoFuse = true
+		return core.DisableFusion, nv, threads, true
+	}
+	return 0, v, threads, false
+}

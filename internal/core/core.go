@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: performance analysis
+// and optimization guidance from a single portable metric — the
+// memory-level parallelism of a routine, computed with Little's Law
+// (Equation 2) from observed bandwidth and the platform's once-measured
+// bandwidth→latency profile, and interpreted as average MSHR-queue
+// occupancy against the core's L1/L2 MSHR capacities.
+//
+// Analyze computes the metric; Recommend encodes the Figure-1 recipe,
+// returning for every optimization the paper discusses (§III-C) whether it
+// is expected to help, to be useless, or to hurt, with the reason.
+package core
+
+import (
+	"fmt"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// MSHRLevel identifies which MSHR queue binds a routine's MLP.
+type MSHRLevel int
+
+const (
+	// L1Bound: random-access routines where the hardware prefetcher is
+	// ineffective; outstanding misses are capped by the small L1 MSHR file.
+	L1Bound MSHRLevel = iota
+	// L2Bound: streaming routines where the L2 prefetcher keeps many more
+	// requests in flight than the L1 file could track.
+	L2Bound
+)
+
+func (l MSHRLevel) String() string {
+	if l == L1Bound {
+		return "L1"
+	}
+	return "L2"
+}
+
+// Measurement is what the analyst collects for one routine in a loaded run
+// (§III-D: all cores active, per-routine attribution).
+type Measurement struct {
+	Routine string
+	// BandwidthGBs is the routine's observed memory bandwidth from
+	// performance counters (reads + writebacks).
+	BandwidthGBs float64
+	// ActiveCores in the run (the paper recommends all node cores); 0
+	// means the full platform core count.
+	ActiveCores int
+	// ThreadsPerCore used in the run (1 = no SMT).
+	ThreadsPerCore int
+	// PrefetchedReadFraction is the share of memory reads initiated by the
+	// prefetcher, when counters expose it (<0 means unknown and the
+	// classification falls back to RandomAccess).
+	PrefetchedReadFraction float64
+	// RandomAccess marks the routine as dominated by irregular accesses;
+	// used (with PrefetchedReadFraction) to pick the binding MSHR level.
+	RandomAccess bool
+}
+
+// Report is the outcome of the Little's-Law analysis for one routine.
+type Report struct {
+	Routine  string
+	Platform string
+
+	BandwidthGBs float64
+	// PeakFraction is bandwidth over the theoretical peak (the percentage
+	// in parentheses in Tables IV–IX).
+	PeakFraction float64
+	// AchievableFraction is bandwidth over the measured achievable peak
+	// (the curve's top sample) — the saturation signal in the recipe.
+	AchievableFraction float64
+
+	// LatencyNs is the loaded latency looked up from the platform profile.
+	LatencyNs float64
+
+	// Occupancy is n_avg: the average per-core MSHR-queue occupancy from
+	// Equation 2, divided over the active cores.
+	Occupancy float64
+
+	// Limiter is the MSHR file that binds this routine, with its capacity.
+	Limiter         MSHRLevel
+	LimiterCapacity int
+
+	// HeadroomFraction is 1 − Occupancy/LimiterCapacity, clamped at 0.
+	HeadroomFraction float64
+
+	// L2SpareMSHRs is the unused L2 MSHR capacity when the L1 file binds —
+	// the opportunity L2 software prefetching exploits (ISx, §IV-A).
+	L2SpareMSHRs float64
+}
+
+// Thresholds in the recipe. The paper phrases these qualitatively
+// ("almost the size of the MSHRQ", "close to peak"); the constants make
+// the decision procedure explicit and testable.
+const (
+	// SaturatedOccupancy: occupancy/capacity at or above this is "MSHRQ
+	// almost full" — MLP-increasing optimizations will not help. The value
+	// is pinned by the paper's ISx/KNL ladder: at 11.2/12 (0.93) 2-way
+	// SMT still paid, at 11.6/12 (0.97) 4-way SMT regressed.
+	SaturatedOccupancy = 0.94
+	// SaturatedBandwidth: fraction of the achievable peak at or above
+	// which the routine is bandwidth bound regardless of MSHR headroom
+	// (HPCG on SKL: 86% of theoretical ≈ 95% of achievable; SMT regressed).
+	SaturatedBandwidth = 0.90
+	// HighBandwidth: fraction of the achievable peak above which
+	// traffic-reducing optimizations (tiling, fusion) become the recipe's
+	// recommendation (MiniGhost runs at 58–73% of theoretical peak and
+	// tiling is the paper's pick on all three machines).
+	HighBandwidth = 0.60
+	// LowOccupancy: below this fraction of capacity the routine generates
+	// so little MLP that it is compute or dependency bound (§IV-G).
+	LowOccupancy = 0.25
+)
+
+// Analyze computes the Little's-Law MLP report for one routine measurement.
+func Analyze(p *platform.Platform, profile *queueing.Curve, m Measurement) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("core: nil bandwidth-latency profile")
+	}
+	if m.BandwidthGBs < 0 {
+		return nil, fmt.Errorf("core: negative bandwidth")
+	}
+	cores := m.ActiveCores
+	if cores == 0 {
+		cores = p.Cores
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("core: need at least one active core")
+	}
+
+	lat := profile.LatencyAt(m.BandwidthGBs)
+	// Equation 2: n_avg = lat × BW / cls, here divided per core.
+	n := queueing.ConcurrencyFromBandwidth(m.BandwidthGBs*1e9, lat*1e-9, p.LineBytes) / float64(cores)
+
+	r := &Report{
+		Routine:            m.Routine,
+		Platform:           p.Name,
+		BandwidthGBs:       m.BandwidthGBs,
+		PeakFraction:       m.BandwidthGBs / p.PeakGBs(),
+		AchievableFraction: m.BandwidthGBs / profile.MaxBandwidthGBs(),
+		LatencyNs:          lat,
+		Occupancy:          n,
+	}
+
+	// §III-D: random accesses (ineffective prefetcher) bind on the L1 MSHR
+	// file; streaming routines bind on L2. Prefer the measured prefetch
+	// fraction when available; fall back to the pattern flag.
+	l1bound := m.RandomAccess
+	if m.PrefetchedReadFraction >= 0 {
+		l1bound = m.PrefetchedReadFraction < 0.5
+	}
+	if l1bound {
+		r.Limiter, r.LimiterCapacity = L1Bound, p.L1.MSHRs
+		if spare := float64(p.L2.MSHRs) - n; spare > 0 {
+			r.L2SpareMSHRs = spare
+		}
+	} else {
+		r.Limiter, r.LimiterCapacity = L2Bound, p.L2.MSHRs
+	}
+	if h := 1 - n/float64(r.LimiterCapacity); h > 0 {
+		r.HeadroomFraction = h
+	}
+	return r, nil
+}
+
+// OccupancySaturated reports whether the binding MSHR file is almost full.
+func (r *Report) OccupancySaturated() bool {
+	return r.Occupancy >= SaturatedOccupancy*float64(r.LimiterCapacity)
+}
+
+// BandwidthSaturated reports whether the routine runs at the achievable
+// bandwidth ceiling.
+func (r *Report) BandwidthSaturated() bool {
+	return r.AchievableFraction >= SaturatedBandwidth
+}
+
+// ComputeBound reports the §IV-G judgement: a routine is compute bound
+// only when it is far from both the bandwidth ceiling and a full MSHRQ.
+func (r *Report) ComputeBound() bool {
+	return r.Occupancy < LowOccupancy*float64(r.LimiterCapacity) && !r.BandwidthSaturated()
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%s on %s: %.1f GB/s (%.0f%% peak), lat %.0f ns, n_avg %.2f of %d %s MSHRs",
+		r.Routine, r.Platform, r.BandwidthGBs, 100*r.PeakFraction, r.LatencyNs,
+		r.Occupancy, r.LimiterCapacity, r.Limiter)
+}

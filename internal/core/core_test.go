@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// paperCurve builds, per platform, a bandwidth→latency profile from the
+// paper's own published (BW, latency) pairs, so the metric pipeline can be
+// validated independently of the simulator's calibration.
+func paperCurve(name string) *queueing.Curve {
+	switch name {
+	case "SKL":
+		return queueing.MustCurve([]queueing.CurvePoint{
+			{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 3.2, LatencyNs: 82},
+			{BandwidthGBs: 37.9, LatencyNs: 93}, {BandwidthGBs: 58.2, LatencyNs: 100},
+			{BandwidthGBs: 92.9, LatencyNs: 117}, {BandwidthGBs: 106.9, LatencyNs: 145},
+			{BandwidthGBs: 109.9, LatencyNs: 171}, {BandwidthGBs: 112, LatencyNs: 200},
+		})
+	case "KNL":
+		return queueing.MustCurve([]queueing.CurvePoint{
+			{BandwidthGBs: 1, LatencyNs: 166}, {BandwidthGBs: 122.9, LatencyNs: 167},
+			{BandwidthGBs: 205, LatencyNs: 179}, {BandwidthGBs: 233, LatencyNs: 180},
+			{BandwidthGBs: 253, LatencyNs: 187}, {BandwidthGBs: 296, LatencyNs: 209},
+			{BandwidthGBs: 344, LatencyNs: 238}, {BandwidthGBs: 360, LatencyNs: 300},
+		})
+	case "A64FX":
+		return queueing.MustCurve([]queueing.CurvePoint{
+			{BandwidthGBs: 2, LatencyNs: 142}, {BandwidthGBs: 93.9, LatencyNs: 145},
+			{BandwidthGBs: 271, LatencyNs: 156}, {BandwidthGBs: 418, LatencyNs: 165},
+			{BandwidthGBs: 575, LatencyNs: 179}, {BandwidthGBs: 649, LatencyNs: 188},
+			{BandwidthGBs: 788, LatencyNs: 280}, {BandwidthGBs: 800, LatencyNs: 320},
+		})
+	}
+	panic("unknown platform " + name)
+}
+
+func mustAnalyze(t *testing.T, plat string, m Measurement) *Report {
+	t.Helper()
+	p, err := platform.ByName(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(p, paperCurve(plat), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestOccupancyMatchesPaperTables recomputes the n_avg column of Tables
+// IV–IX through the full pipeline (bandwidth → curve lookup → Equation 2).
+func TestOccupancyMatchesPaperTables(t *testing.T) {
+	cases := []struct {
+		plat    string
+		routine string
+		bw      float64
+		random  bool
+		wantOcc float64
+	}{
+		{"SKL", "ISx base", 106.9, true, 10.1},
+		{"KNL", "ISx base", 233, true, 10.23},
+		{"KNL", "ISx +vect,2ht,pref", 344, true, 20},
+		{"A64FX", "ISx base", 649, true, 9.92},
+		{"A64FX", "ISx +l2pref", 788, true, 17.95},
+		{"SKL", "HPCG base", 109.9, false, 12.6},
+		{"KNL", "HPCG base", 205, false, 8.95},
+		{"A64FX", "HPCG base", 271, false, 3.44},
+		{"SKL", "PENNANT base", 37.9, true, 2.29},
+		{"A64FX", "PENNANT base", 69.3, true, 0.81},
+		{"SKL", "CoMD base", 3.19, true, 0.17},
+		{"KNL", "CoMD base", 26.88, true, 1.17},
+		{"SKL", "MiniGhost base", 92.93, false, 7.07},
+		{"KNL", "MiniGhost base", 232.96, false, 11.26},
+		{"A64FX", "MiniGhost base", 575, false, 8.38},
+		{"SKL", "SNAP base", 58.2, false, 3.79},
+		{"KNL", "SNAP base", 122.9, false, 5.0},
+		{"A64FX", "SNAP base", 93.88, false, 1.1},
+	}
+	for _, c := range cases {
+		r := mustAnalyze(t, c.plat, Measurement{
+			Routine:                c.routine,
+			BandwidthGBs:           c.bw,
+			RandomAccess:           c.random,
+			PrefetchedReadFraction: -1,
+		})
+		if math.Abs(r.Occupancy-c.wantOcc) > 0.12*c.wantOcc+0.05 {
+			t.Errorf("%s/%s: occupancy %.2f, paper %.2f", c.plat, c.routine, r.Occupancy, c.wantOcc)
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	p := platform.SKL()
+	if _, err := Analyze(p, nil, Measurement{}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := Analyze(p, paperCurve("SKL"), Measurement{BandwidthGBs: -1}); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	if _, err := Analyze(p, paperCurve("SKL"), Measurement{ActiveCores: -2}); err == nil {
+		t.Fatal("negative core count accepted")
+	}
+	bad := platform.SKL()
+	bad.Cores = 0
+	if _, err := Analyze(bad, paperCurve("SKL"), Measurement{}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestLimiterClassification(t *testing.T) {
+	// Random access → L1 bound; streaming (high prefetch fraction) → L2.
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 50, RandomAccess: true, PrefetchedReadFraction: -1})
+	if r.Limiter != L1Bound || r.LimiterCapacity != 10 {
+		t.Fatalf("random access limiter = %v/%d, want L1/10", r.Limiter, r.LimiterCapacity)
+	}
+	r = mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 50, RandomAccess: true, PrefetchedReadFraction: 0.8})
+	if r.Limiter != L2Bound || r.LimiterCapacity != 16 {
+		t.Fatalf("prefetched traffic limiter = %v/%d, want L2/16 (measured fraction overrides flag)",
+			r.Limiter, r.LimiterCapacity)
+	}
+	r = mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 50, RandomAccess: false, PrefetchedReadFraction: 0.1})
+	if r.Limiter != L1Bound {
+		t.Fatal("low measured prefetch fraction should bind on L1")
+	}
+}
+
+// TestRecipeISxLadder replays the paper's ISx optimization ladder (Table IV
+// and §IV-A) and checks the recipe issues the same verdict at every step.
+func TestRecipeISxLadder(t *testing.T) {
+	vecCaps := Capabilities{Vectorizable: true, SMTWays: 2, CurrentThreads: 1, IrregularAccess: true}
+
+	// SKL base: occupancy ≈ 10.1 of 10 → saturated; bandwidth ≈ 95% of
+	// achievable. Vectorization and SMT must be discouraged.
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 106.9, RandomAccess: true, PrefetchedReadFraction: -1})
+	if !r.OccupancySaturated() {
+		t.Fatalf("ISx/SKL base not occupancy-saturated: %.2f of %d", r.Occupancy, r.LimiterCapacity)
+	}
+	adv := Advise(r, vecCaps)
+	if a := AdviceFor(adv, Vectorize); a.Stance != Discourage {
+		t.Errorf("ISx/SKL vectorize stance = %v, want discourage (paper: 1x)", a.Stance)
+	}
+	if a := AdviceFor(adv, SMT2); a.Stance != Discourage {
+		t.Errorf("ISx/SKL 2-way HT stance = %v, want discourage (paper: 1x)", a.Stance)
+	}
+
+	// KNL base: 10.23 of 12 → small headroom; vectorization recommended.
+	knlCaps := Capabilities{Vectorizable: true, SMTWays: 4, CurrentThreads: 1, IrregularAccess: true}
+	r = mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 233, RandomAccess: true, PrefetchedReadFraction: -1})
+	adv = Advise(r, knlCaps)
+	if a := AdviceFor(adv, Vectorize); a.Stance != Recommend {
+		t.Errorf("ISx/KNL vectorize stance = %v, want recommend (paper: 1.02x)", a.Stance)
+	}
+
+	// KNL +vect: 10.66 of 12 → 2-way HT recommended.
+	knlCaps.AlreadyVectorized = true
+	r = mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 240, RandomAccess: true, PrefetchedReadFraction: -1})
+	adv = Advise(r, knlCaps)
+	if a := AdviceFor(adv, SMT2); a.Stance != Recommend {
+		t.Errorf("ISx/KNL 2-way HT stance = %v, want recommend (paper: 1.04x)", a.Stance)
+	}
+
+	// KNL +vect,2ht: 11.6 of 12 → 4-way HT discouraged, but the L1-bound
+	// routine leaves ~20 L2 MSHRs idle → L2 software prefetch recommended.
+	knlCaps.CurrentThreads = 2
+	r = mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 253, RandomAccess: true, PrefetchedReadFraction: -1})
+	adv = Advise(r, knlCaps)
+	if a := AdviceFor(adv, SMT4); a.Stance != Discourage {
+		t.Errorf("ISx/KNL 4-way HT stance = %v, want discourage (paper: 0.98x)", a.Stance)
+	}
+	if a := AdviceFor(adv, SoftwarePrefetchL2); a.Stance != Recommend {
+		t.Errorf("ISx/KNL L2 prefetch stance = %v, want recommend (paper: 1.4x)", a.Stance)
+	}
+
+	// A64FX base: 9.92 of 12 L1, ~10 L2 MSHRs spare → L2 prefetch.
+	r = mustAnalyze(t, "A64FX", Measurement{BandwidthGBs: 649, RandomAccess: true, PrefetchedReadFraction: -1})
+	adv = Advise(r, Capabilities{Vectorizable: true, SMTWays: 1, CurrentThreads: 1, IrregularAccess: true})
+	if a := AdviceFor(adv, SoftwarePrefetchL2); a.Stance != Recommend {
+		t.Errorf("ISx/A64FX L2 prefetch stance = %v, want recommend (paper: 1.3x)", a.Stance)
+	}
+}
+
+// TestRecipeHPCG: bandwidth saturation on SKL blocks MLP raisers despite
+// MSHR headroom; deep headroom on KNL/A64FX recommends them.
+func TestRecipeHPCG(t *testing.T) {
+	caps := Capabilities{Vectorizable: true, SMTWays: 2, CurrentThreads: 1}
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 109.9, PrefetchedReadFraction: 0.9})
+	if r.OccupancySaturated() {
+		t.Fatalf("HPCG/SKL occupancy %.2f of %d misreported as saturated", r.Occupancy, r.LimiterCapacity)
+	}
+	if !r.BandwidthSaturated() {
+		t.Fatalf("HPCG/SKL at 86%% of theoretical peak not bandwidth-saturated (frac %.2f)", r.AchievableFraction)
+	}
+	adv := Advise(r, caps)
+	if a := AdviceFor(adv, Vectorize); a.Stance != Discourage {
+		t.Errorf("HPCG/SKL vectorize = %v, want discourage (paper: 1x)", a.Stance)
+	}
+	if a := AdviceFor(adv, SMT2); a.Stance != Discourage {
+		t.Errorf("HPCG/SKL 2-way HT = %v, want discourage (paper: 0.98x)", a.Stance)
+	}
+
+	r = mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 205, PrefetchedReadFraction: 0.9})
+	adv = Advise(r, Capabilities{Vectorizable: true, SMTWays: 4, CurrentThreads: 1})
+	if a := AdviceFor(adv, Vectorize); a.Stance != Recommend {
+		t.Errorf("HPCG/KNL vectorize = %v, want recommend (paper: 1.15x)", a.Stance)
+	}
+
+	r = mustAnalyze(t, "A64FX", Measurement{BandwidthGBs: 271, PrefetchedReadFraction: 0.9})
+	adv = Advise(r, Capabilities{Vectorizable: true, SMTWays: 1, CurrentThreads: 1})
+	if a := AdviceFor(adv, Vectorize); a.Stance != Recommend {
+		t.Errorf("HPCG/A64FX vectorize = %v, want recommend (paper: 1.7x)", a.Stance)
+	}
+}
+
+// TestRecipeCoMD: compute-bound detection and the unroll-and-jam rule.
+func TestRecipeCoMD(t *testing.T) {
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 3.19, RandomAccess: true, PrefetchedReadFraction: -1})
+	if !r.ComputeBound() {
+		t.Fatalf("CoMD/SKL (occ %.2f) not classified compute bound", r.Occupancy)
+	}
+	adv := Advise(r, Capabilities{Vectorizable: true, SMTWays: 2, CurrentThreads: 1})
+	if a := AdviceFor(adv, Vectorize); a.Stance != Recommend {
+		t.Errorf("CoMD/SKL vectorize = %v, want recommend (paper: 1.4x)", a.Stance)
+	}
+	if a := AdviceFor(adv, UnrollAndJam); a.Stance != Recommend {
+		t.Errorf("CoMD/SKL unroll-and-jam = %v, want recommend (low occupancy rule)", a.Stance)
+	}
+
+	// KNL deep SMT ladder stays recommended: 3.76 of 12 after 2-way.
+	r = mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 82.82, RandomAccess: true, PrefetchedReadFraction: -1})
+	adv = Advise(r, Capabilities{Vectorizable: true, AlreadyVectorized: true, SMTWays: 4, CurrentThreads: 2})
+	if a := AdviceFor(adv, SMT4); a.Stance != Recommend {
+		t.Errorf("CoMD/KNL 4-way HT = %v, want recommend (paper: 1.25x)", a.Stance)
+	}
+}
+
+// TestRecipeMiniGhost: the traffic-reducing branch.
+func TestRecipeMiniGhost(t *testing.T) {
+	caps := Capabilities{Tileable: true, SMTWays: 2, CurrentThreads: 1}
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 92.93, PrefetchedReadFraction: 0.85})
+	adv := Advise(r, caps)
+	if a := AdviceFor(adv, LoopTiling); a.Stance != Recommend {
+		t.Errorf("MiniGhost/SKL tiling = %v, want recommend (paper: 1.14x)", a.Stance)
+	}
+	// After tiling, bandwidth is ~96% of achievable → SMT discouraged.
+	r = mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 107.14, PrefetchedReadFraction: 0.85})
+	adv = Advise(r, caps)
+	if a := AdviceFor(adv, SMT2); a.Stance != Discourage {
+		t.Errorf("MiniGhost/SKL post-tiling 2-way HT = %v, want discourage (paper: 1.02x)", a.Stance)
+	}
+
+	for _, c := range []struct {
+		plat string
+		bw   float64
+	}{{"KNL", 232.96}, {"A64FX", 575}} {
+		r = mustAnalyze(t, c.plat, Measurement{BandwidthGBs: c.bw, PrefetchedReadFraction: 0.85})
+		adv = Advise(r, Capabilities{Tileable: true})
+		if a := AdviceFor(adv, LoopTiling); a.Stance != Recommend {
+			t.Errorf("MiniGhost/%s tiling = %v, want recommend (paper: ≥1.47x)", c.plat, a.Stance)
+		}
+	}
+}
+
+// TestRecipeSNAP: short inner loops make software prefetching the pick.
+func TestRecipeSNAP(t *testing.T) {
+	caps := Capabilities{ShortLoops: true, SMTWays: 4, CurrentThreads: 1}
+	r := mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 122.9, PrefetchedReadFraction: 0.6})
+	adv := Advise(r, caps)
+	if a := AdviceFor(adv, SoftwarePrefetchL2); a.Stance != Recommend {
+		t.Errorf("SNAP/KNL prefetch = %v, want recommend (paper: 1.08x)", a.Stance)
+	}
+	if a := AdviceFor(adv, SMT2); a.Stance != Recommend {
+		t.Errorf("SNAP/KNL 2-way HT = %v, want recommend (paper: 1.14x)", a.Stance)
+	}
+}
+
+func TestRecipeLoopDistribution(t *testing.T) {
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 60, PrefetchedReadFraction: 0.9})
+	adv := Advise(r, Capabilities{StreamCount: 40})
+	if a := AdviceFor(adv, LoopDistribution); a.Stance != Recommend {
+		t.Errorf("40 streams distribution = %v, want recommend (exceeds 16-entry table)", a.Stance)
+	}
+	// Low-MLP routine: distribution explicitly discouraged (§III-C).
+	r = mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 3, PrefetchedReadFraction: 0.9})
+	adv = Advise(r, Capabilities{StreamCount: 4})
+	if a := AdviceFor(adv, LoopDistribution); a.Stance != Discourage {
+		t.Errorf("low-MLP distribution = %v, want discourage", a.Stance)
+	}
+}
+
+func TestExplainNarratesEveryBranch(t *testing.T) {
+	// Saturated L1 with spare L2.
+	r := mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 253, RandomAccess: true, PrefetchedReadFraction: -1})
+	if s := Explain(r); !strings.Contains(s, "L2 software prefetching") {
+		t.Errorf("saturated-L1 narration missing prefetch hint:\n%s", s)
+	}
+	// Bandwidth saturated.
+	r = mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 109.9, PrefetchedReadFraction: 0.9})
+	if s := Explain(r); !strings.Contains(s, "achievable peak") {
+		t.Errorf("bw-saturated narration wrong:\n%s", s)
+	}
+	// Compute bound.
+	r = mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 3, RandomAccess: true, PrefetchedReadFraction: -1})
+	if s := Explain(r); !strings.Contains(s, "compute") {
+		t.Errorf("compute-bound narration wrong:\n%s", s)
+	}
+	// Headroom.
+	r = mustAnalyze(t, "KNL", Measurement{BandwidthGBs: 205, PrefetchedReadFraction: 0.9})
+	if s := Explain(r); !strings.Contains(s, "Headroom") {
+		t.Errorf("headroom narration wrong:\n%s", s)
+	}
+}
+
+func TestOptimizationProperties(t *testing.T) {
+	for _, o := range []Optimization{Vectorize, SMT2, SMT4, SoftwarePrefetchL2, SoftwarePrefetchL1} {
+		if !o.IncreasesMLP() {
+			t.Errorf("%v should increase MLP", o)
+		}
+		if o.ReducesTraffic() {
+			t.Errorf("%v should not reduce traffic", o)
+		}
+	}
+	for _, o := range []Optimization{LoopTiling, UnrollAndJam, LoopFusion} {
+		if !o.ReducesTraffic() {
+			t.Errorf("%v should reduce traffic", o)
+		}
+		if o.IncreasesMLP() {
+			t.Errorf("%v should not increase MLP", o)
+		}
+	}
+	if Vectorize.String() != "vectorization" || Optimization(99).String() == "" {
+		t.Error("String() misbehaves")
+	}
+}
+
+func TestDefaultCoresUsed(t *testing.T) {
+	r := mustAnalyze(t, "SKL", Measurement{BandwidthGBs: 106.9, RandomAccess: true, PrefetchedReadFraction: -1})
+	// 106.9 GB/s × 145 ns / 64 B / 24 cores ≈ 10.1.
+	if math.Abs(r.Occupancy-10.1) > 0.3 {
+		t.Fatalf("default-cores occupancy = %.2f, want ≈10.1", r.Occupancy)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import "fmt"
+
+// Optimization enumerates the program transformations the paper's recipe
+// reasons about (§III-C).
+type Optimization int
+
+const (
+	Vectorize Optimization = iota
+	SMT2
+	SMT4
+	SoftwarePrefetchL2
+	SoftwarePrefetchL1
+	LoopTiling
+	UnrollAndJam
+	LoopFusion
+	LoopDistribution
+	// DisableFusion is the §IV-F user-intuition step: undoing the
+	// compiler's automatic loop fusion on cores that stall on the
+	// store-to-load forwarding it introduces. The recipe itself never
+	// recommends it; it lives beyond Figure 1.
+	DisableFusion
+)
+
+var optNames = map[Optimization]string{
+	Vectorize:          "vectorization",
+	SMT2:               "2-way SMT",
+	SMT4:               "4-way SMT",
+	SoftwarePrefetchL2: "L2 software prefetching",
+	SoftwarePrefetchL1: "L1 software prefetching",
+	LoopTiling:         "loop tiling",
+	UnrollAndJam:       "unroll-and-jam",
+	LoopFusion:         "loop fusion",
+	LoopDistribution:   "loop distribution",
+	DisableFusion:      "disable loop fusion (user intuition)",
+}
+
+func (o Optimization) String() string {
+	if s, ok := optNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("optimization(%d)", int(o))
+}
+
+// IncreasesMLP reports whether the optimization raises MSHRQ occupancy
+// (the recipe's key property split, §III-D question 1 vs 2).
+func (o Optimization) IncreasesMLP() bool {
+	switch o {
+	case Vectorize, SMT2, SMT4, SoftwarePrefetchL2, SoftwarePrefetchL1:
+		return true
+	}
+	return false
+}
+
+// ReducesTraffic reports whether the optimization cuts memory requests
+// (and therefore occupancy) by improving reuse.
+func (o Optimization) ReducesTraffic() bool {
+	switch o {
+	case LoopTiling, UnrollAndJam, LoopFusion:
+		return true
+	}
+	return false
+}
+
+// Stance is the recipe's verdict on one optimization.
+type Stance int
+
+const (
+	// Recommend: the metric predicts a speedup.
+	Recommend Stance = iota
+	// Neutral: the metric cannot predict benefit; user intuition applies.
+	Neutral
+	// Discourage: the metric predicts no benefit or a slowdown.
+	Discourage
+)
+
+func (s Stance) String() string {
+	switch s {
+	case Recommend:
+		return "recommend"
+	case Neutral:
+		return "neutral"
+	case Discourage:
+		return "discourage"
+	}
+	return "unknown"
+}
+
+// Advice is one recipe verdict.
+type Advice struct {
+	Opt    Optimization
+	Stance Stance
+	Reason string
+}
+
+// Capabilities describes what the routine and platform allow; Advise
+// only rules on optimizations that are applicable.
+type Capabilities struct {
+	// Vectorizable: the key loop can be vectorized (possibly by forcing,
+	// as in PENNANT's restrict/pragma case, §IV-C).
+	Vectorizable bool
+	// AlreadyVectorized: vectorization has been applied.
+	AlreadyVectorized bool
+	// SMTWays supported by the platform (1 = none).
+	SMTWays int
+	// CurrentThreads per core in the measured run.
+	CurrentThreads int
+	// Tileable: the loop nest has reuse a tiling transformation can capture
+	// (stencils, GEMM).
+	Tileable bool
+	// Fusable: adjacent loops share data.
+	Fusable bool
+	// IrregularAccess: dominant accesses are irregular/random.
+	IrregularAccess bool
+	// ShortLoops: innermost loops have small trip counts that defeat the
+	// hardware prefetcher's training (SNAP's dim3_sweep, §IV-F).
+	ShortLoops bool
+	// StreamCount: concurrent access streams in the loop body (for the
+	// distribution/prefetcher-table interaction).
+	StreamCount int
+}
+
+// Advise runs the Figure-1 recipe over a report.
+func Advise(r *Report, caps Capabilities) []Advice {
+	var out []Advice
+	add := func(o Optimization, s Stance, reason string) {
+		out = append(out, Advice{Opt: o, Stance: s, Reason: reason})
+	}
+
+	occSat := r.OccupancySaturated()
+	bwSat := r.BandwidthSaturated()
+	mlpRoom := !occSat && !bwSat
+
+	// --- MLP-increasing optimizations -----------------------------------
+	describeBlocked := func() string {
+		if occSat {
+			return fmt.Sprintf("%s MSHRQ occupancy %.1f is almost its capacity %d: no headroom to raise MLP",
+				r.Limiter, r.Occupancy, r.LimiterCapacity)
+		}
+		return fmt.Sprintf("bandwidth %.0f GB/s is at %.0f%% of the achievable peak: more MLP cannot be served",
+			r.BandwidthGBs, 100*r.AchievableFraction)
+	}
+
+	if caps.Vectorizable && !caps.AlreadyVectorized {
+		if mlpRoom {
+			add(Vectorize, Recommend, fmt.Sprintf(
+				"occupancy %.1f of %d %s MSHRs leaves headroom; vectorization raises MLP",
+				r.Occupancy, r.LimiterCapacity, r.Limiter))
+		} else {
+			add(Vectorize, Discourage, describeBlocked())
+		}
+	}
+
+	if caps.SMTWays >= 2 && caps.CurrentThreads < 2 {
+		if mlpRoom {
+			add(SMT2, Recommend, "headroom in the MSHRQ: co-resident threads add independent misses")
+		} else {
+			add(SMT2, Discourage, describeBlocked())
+		}
+	}
+	if caps.SMTWays >= 4 && caps.CurrentThreads < 4 && caps.CurrentThreads >= 2 {
+		if mlpRoom {
+			add(SMT4, Recommend, "MSHRQ still has room for two more threads' misses")
+		} else {
+			add(SMT4, Discourage, describeBlocked())
+		}
+	}
+
+	// L2 software prefetching: the special case that works even at a full
+	// L1 MSHRQ, by moving the in-flight window to the larger L2 file.
+	if r.Limiter == L1Bound && r.L2SpareMSHRs >= 2 && !bwSat {
+		add(SoftwarePrefetchL2, Recommend, fmt.Sprintf(
+			"L1 MSHRQ binds (%.1f of %d) but ~%.0f L2 MSHRs are idle: prefetch to L2 to shift the bottleneck",
+			r.Occupancy, r.LimiterCapacity, r.L2SpareMSHRs))
+	} else if caps.ShortLoops && mlpRoom {
+		add(SoftwarePrefetchL2, Recommend,
+			"short inner loops defeat the hardware prefetcher; software prefetching covers them")
+	} else if occSat {
+		add(SoftwarePrefetchL2, Discourage,
+			"each software prefetch occupies an MSHR, displacing demand requests when the queue is full")
+	} else {
+		add(SoftwarePrefetchL2, Neutral,
+			"prefetcher already covers the access pattern; little latency left to hide")
+	}
+
+	// --- Traffic-reducing optimizations ---------------------------------
+	highBW := r.AchievableFraction >= HighBandwidth
+	if caps.Tileable {
+		if occSat || highBW {
+			add(LoopTiling, Recommend,
+				"high occupancy/bandwidth: tiling cuts memory requests and MSHRQ pressure (the only lever left)")
+		} else {
+			add(LoopTiling, Neutral, "tiling helps via reuse, not MLP; the metric does not gate it here")
+		}
+	}
+	if caps.Fusable {
+		if occSat || highBW {
+			add(LoopFusion, Recommend, "fusion shortens reuse distance, reducing requests and occupancy")
+		} else {
+			add(LoopFusion, Neutral, "no MSHRQ pressure for fusion to relieve")
+		}
+	}
+
+	// Unroll-and-jam: beneficial when accesses already hit high cache
+	// levels — inferable from a low MSHRQ occupancy (§III-C).
+	if r.Occupancy < LowOccupancy*float64(r.LimiterCapacity) {
+		add(UnrollAndJam, Recommend,
+			"low MSHRQ occupancy implies data already resides in near caches; register tiling exploits that")
+	} else {
+		add(UnrollAndJam, Neutral, "memory latency dominates; register reuse is secondary")
+	}
+
+	// Loop distribution: only when the loop carries more streams than the
+	// prefetcher tracks, or bandwidth contention between streams.
+	if caps.StreamCount > 0 {
+		// Platform stream capacity is not in the report; use a typical
+		// 16-entry table, the value all three paper machines share.
+		const streamTable = 16
+		switch {
+		case caps.StreamCount > streamTable:
+			add(LoopDistribution, Recommend, fmt.Sprintf(
+				"%d streams exceed the prefetcher's %d-entry table; distribution reduces active streams",
+				caps.StreamCount, streamTable))
+		case r.Occupancy < LowOccupancy*float64(r.LimiterCapacity):
+			add(LoopDistribution, Discourage,
+				"low MLP: distribution cannot help without stream or bandwidth contention")
+		default:
+			add(LoopDistribution, Neutral, "stream count within prefetcher capacity")
+		}
+	}
+
+	return out
+}
+
+// AdviceFor returns the recipe's stance on one optimization, or Neutral
+// with an empty reason if the recipe did not rule on it.
+func AdviceFor(advice []Advice, o Optimization) Advice {
+	for _, a := range advice {
+		if a.Opt == o {
+			return a
+		}
+	}
+	return Advice{Opt: o, Stance: Neutral}
+}
+
+// Explain renders the recipe's decision path for a report as text — the
+// Figure-1 flowchart narrated for the measured values.
+func Explain(r *Report) string {
+	s := r.String() + "\n"
+	switch {
+	case r.OccupancySaturated() && r.Limiter == L1Bound && r.L2SpareMSHRs >= 2:
+		s += fmt.Sprintf("→ %s MSHRQ is effectively full; stop MLP-raising optimizations.\n", r.Limiter)
+		s += fmt.Sprintf("→ But ~%.0f L2 MSHRs are unused: L2 software prefetching can shift the bottleneck.\n", r.L2SpareMSHRs)
+	case r.OccupancySaturated():
+		s += fmt.Sprintf("→ %s MSHRQ is effectively full; only request-reducing optimizations (tiling, fusion) apply.\n", r.Limiter)
+	case r.BandwidthSaturated():
+		s += fmt.Sprintf("→ Bandwidth is at %.0f%% of the achievable peak; MLP-raising optimizations cannot be served.\n", 100*r.AchievableFraction)
+	case r.ComputeBound():
+		s += "→ Low occupancy and low bandwidth: compute/dependency bound; vectorization, SMT and register tiling recommended.\n"
+	default:
+		s += fmt.Sprintf("→ Headroom: %.0f%% of the %s MSHRQ is unused; MLP-raising optimizations (vectorization, SMT, prefetching) should pay off.\n",
+			100*r.HeadroomFraction, r.Limiter)
+	}
+	return s
+}

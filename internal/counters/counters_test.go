@@ -1,0 +1,240 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/sim"
+)
+
+func TestTableIMatrix(t *testing.T) {
+	models := Models()
+	if len(models) != 4 {
+		t.Fatalf("Table I surveys 4 vendors, got %d", len(models))
+	}
+	byVendor := map[string]VendorModel{}
+	for _, m := range models {
+		byVendor[m.Vendor] = m
+	}
+	// Table I rows.
+	cases := []struct {
+		vendor                       string
+		stalls, l1full, l2full, mlat Visibility
+	}{
+		{"Intel", Limited, Yes, No, Limited},
+		{"AMD", Limited, Yes, No, Limited},
+		{"Cavium", VeryLimited, No, No, No},
+		{"Fujitsu", Limited, No, No, No},
+	}
+	for _, c := range cases {
+		m, ok := byVendor[c.vendor]
+		if !ok {
+			t.Fatalf("vendor %s missing", c.vendor)
+		}
+		if m.StallBreakdown != c.stalls || m.L1MSHRQFull != c.l1full ||
+			m.L2MSHRQFull != c.l2full || m.MemoryLatency != c.mlat {
+			t.Errorf("%s row = %v/%v/%v/%v, want %v/%v/%v/%v", c.vendor,
+				m.StallBreakdown, m.L1MSHRQFull, m.L2MSHRQFull, m.MemoryLatency,
+				c.stalls, c.l1full, c.l2full, c.mlat)
+		}
+	}
+	// No vendor exposes L2-MSHRQ-full stalls — the gap the metric fills.
+	for _, m := range models {
+		if m.L2MSHRQFull != No {
+			t.Errorf("%s claims L2 MSHRQ-full visibility; Table I says none do", m.Vendor)
+		}
+	}
+}
+
+func TestModelForPlatforms(t *testing.T) {
+	for _, c := range []struct {
+		plat, vendor string
+		eventSub     string
+	}{
+		{"SKL", "Intel", "L3_MISS_LOCAL"},
+		{"KNL", "Intel", "MCDRAM"},
+		{"A64FX", "Fujitsu", "BUS_READ_TOTAL_MEM"},
+	} {
+		m, err := ModelFor(c.plat)
+		if err != nil {
+			t.Fatalf("ModelFor(%s): %v", c.plat, err)
+		}
+		if m.Vendor != c.vendor {
+			t.Errorf("%s vendor = %s, want %s", c.plat, m.Vendor, c.vendor)
+		}
+		found := false
+		for _, e := range m.BandwidthEvents {
+			if strings.Contains(e, c.eventSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s events %v missing %q", c.plat, m.BandwidthEvents, c.eventSub)
+		}
+	}
+	if _, err := ModelFor("POWER9"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestBandwidthDerivation(t *testing.T) {
+	res := &sim.Result{ReadGBs: 80, WriteGBs: 20}
+	arm, _ := ModelFor("A64FX")
+	bw, err := BandwidthGBs(arm, res)
+	if err != nil || bw != 100 {
+		t.Fatalf("ARM bandwidth = %v (%v), want 100 exact", bw, err)
+	}
+	intel, _ := ModelFor("SKL")
+	bw, err = BandwidthGBs(intel, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw < 80 || bw > 105 {
+		t.Fatalf("Intel bandwidth with writeback heuristic = %v, want ~100", bw)
+	}
+	// Cavium-like: no events at all.
+	var cavium VendorModel
+	for _, m := range Models() {
+		if m.Vendor == "Cavium" {
+			cavium = m
+		}
+	}
+	if _, err := BandwidthGBs(cavium, res); err == nil {
+		t.Fatal("vendor without bandwidth events produced a bandwidth")
+	}
+}
+
+// TestThresholdCounterCritique reproduces §II: for a random-access run with
+// a true loaded latency of ~378 cycles, the threshold counter reports the
+// majority of loads above the 512-cycle bin — more than the true latency
+// justifies — while for a prefetched streaming run it reports almost
+// everything as fast even at full memory load.
+func TestThresholdCounterCritique(t *testing.T) {
+	p := platform.SKL()
+	intel, _ := ModelFor("SKL")
+
+	// ISx-like: true mean load-to-use ≈ 180ns = 378 cycles.
+	random := &sim.Result{MeanLoadLatencyNs: 180}
+	bins, err := ThresholdCounter(intel, random, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := bins[len(bins)-1]
+	if top.ThresholdCycles != 512 {
+		t.Fatalf("top bin = %d, want 512", top.ThresholdCycles)
+	}
+	if top.Fraction < 0.55 {
+		t.Errorf("random access: %.0f%% of loads above 512cy, want a misleading majority (paper: 75%%)",
+			100*top.Fraction)
+	}
+
+	// hpcg-like: prefetched streams complete near cache latency (~15ns =
+	// 32 cycles) even though the machine runs at peak bandwidth.
+	stream := &sim.Result{MeanLoadLatencyNs: 15}
+	bins, err = ThresholdCounter(intel, stream, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := bins[len(bins)-1].Fraction; f > 0.05 {
+		t.Errorf("prefetched stream: %.0f%% above 512cy, want ~none (counter blind to loaded latency)", 100*f)
+	}
+
+	// Monotone: higher thresholds cannot have larger fractions.
+	for i := 1; i < len(bins); i++ {
+		if bins[i].Fraction > bins[i-1].Fraction {
+			t.Fatalf("bin fractions not monotone: %+v", bins)
+		}
+	}
+
+	// ARM has no such counter at all.
+	arm, _ := ModelFor("A64FX")
+	if _, err := ThresholdCounter(arm, random, p, true); err == nil {
+		t.Fatal("A64FX produced threshold samples; Table I says it cannot")
+	}
+}
+
+func TestVisibilityString(t *testing.T) {
+	for v, want := range map[Visibility]string{No: "No", VeryLimited: "Very limited", Limited: "Limited", Yes: "Yes"} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func makeResult() *sim.Result {
+	return &sim.Result{
+		WindowPs:          1e9, // 1 ms
+		ReadGBs:           80,
+		WriteGBs:          20,
+		DemandLoads:       1e6,
+		DemandStores:      2e5,
+		L1FullStallFrac:   0.3,
+		HWPrefetchIssued:  5e5,
+		HWPrefetchDropped: 1e4,
+	}
+}
+
+func TestReadEventsPerVendor(t *testing.T) {
+	res := makeResult()
+	intel, _ := ModelFor("SKL")
+	arm, _ := ModelFor("A64FX")
+	p := platform.SKL()
+	a64 := platform.A64FX()
+
+	names := func(evs []EventValue) map[string]bool {
+		m := map[string]bool{}
+		for _, e := range evs {
+			m[e.Event] = true
+		}
+		return m
+	}
+
+	iv := names(ReadEvents(intel, p, res))
+	if !iv["OFFCORE_RESPONSE_0:ANY_REQUEST:L3_MISS_LOCAL"] {
+		t.Error("Intel missing its L3-miss event")
+	}
+	if !iv["L1D_PEND_MISS.FB_FULL"] {
+		t.Error("Intel missing the fill-buffer-full event (Table I: Yes)")
+	}
+	if iv["BUS_READ_TOTAL_MEM"] {
+		t.Error("Intel shows an ARM bus event")
+	}
+
+	av := names(ReadEvents(arm, a64, res))
+	if !av["BUS_READ_TOTAL_MEM"] || !av["BUS_WRITE_TOTAL_MEM"] {
+		t.Error("A64FX missing its bus events")
+	}
+	if av["L1D_PEND_MISS.FB_FULL"] {
+		t.Error("A64FX shows an MSHR-full event (Table I: No)")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	intel, _ := ModelFor("SKL")
+	if err := WriteReport(&sb, intel, platform.SKL(), makeResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Counter report", "CYCLES", "derived bandwidth", "GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A vendor with no bandwidth events reports the gap instead of a number.
+	var cavium VendorModel
+	for _, m := range Models() {
+		if m.Vendor == "Cavium" {
+			cavium = m
+		}
+	}
+	sb.Reset()
+	if err := WriteReport(&sb, cavium, platform.SKL(), makeResult()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "unavailable") {
+		t.Errorf("Cavium report should mark bandwidth unavailable:\n%s", sb.String())
+	}
+}

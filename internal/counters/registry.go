@@ -1,0 +1,82 @@
+package counters
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/sim"
+)
+
+// EventValue is one named counter reading.
+type EventValue struct {
+	Event string
+	Value float64
+	Unit  string
+}
+
+// ReadEvents derives the vendor's counter readings from a simulated run —
+// the numbers a CrayPat-style sampling report would show. Events not
+// exposed by the vendor are simply absent, reproducing the Table-I
+// portability gaps.
+func ReadEvents(m VendorModel, p *platform.Platform, res *sim.Result) []EventValue {
+	lineGB := float64(p.LineBytes) / 1e9
+	secs := res.WindowPs.Seconds()
+	var out []EventValue
+	add := func(name string, v float64, unit string) {
+		out = append(out, EventValue{Event: name, Value: v, Unit: unit})
+	}
+
+	// Universally available basics.
+	add("CYCLES", res.WindowPs.Seconds()*p.FreqHz, "cycles")
+	add("DEMAND_LOADS", float64(res.DemandLoads), "ops")
+	add("DEMAND_STORES", float64(res.DemandStores), "ops")
+
+	// Bandwidth events per vendor.
+	for _, ev := range m.BandwidthEvents {
+		switch {
+		case ev == "BUS_READ_TOTAL_MEM":
+			add(ev, res.ReadGBs/lineGB*secs/1e6, "M lines")
+		case ev == "BUS_WRITE_TOTAL_MEM":
+			add(ev, res.WriteGBs/lineGB*secs/1e6, "M lines")
+		default: // Intel OFFCORE_RESPONSE-style read-side events
+			add(ev, res.ReadGBs/lineGB*secs/1e6, "M lines")
+		}
+	}
+
+	// L1-MSHRQ-full stalls: Intel/AMD expose them; others do not.
+	if m.L1MSHRQFull == Yes {
+		add("L1D_PEND_MISS.FB_FULL", res.L1FullStallFrac*res.WindowPs.Seconds()*p.FreqHz, "cycles")
+	}
+
+	// Prefetch activity (commonly visible on x86).
+	if m.Vendor == "Intel" {
+		add("L2_PREFETCH.REQUESTS", float64(res.HWPrefetchIssued)/1e6, "M ops")
+		add("L2_PREFETCH.DROPPED", float64(res.HWPrefetchDropped)/1e6, "M ops")
+	}
+	return out
+}
+
+// WriteReport renders the readings plus the derived metrics the paper's
+// method needs, in a CrayPat-like layout.
+func WriteReport(w io.Writer, m VendorModel, p *platform.Platform, res *sim.Result) error {
+	if _, err := fmt.Fprintf(w, "Counter report (%s events on %s)\n", m.Vendor, p.Name); err != nil {
+		return err
+	}
+	events := ReadEvents(m, p, res)
+	sort.Slice(events, func(i, j int) bool { return events[i].Event < events[j].Event })
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "  %-42s %14.2f %s\n", e.Event, e.Value, e.Unit); err != nil {
+			return err
+		}
+	}
+	bw, err := BandwidthGBs(m, res)
+	if err != nil {
+		_, werr := fmt.Fprintf(w, "  derived bandwidth: unavailable (%v)\n", err)
+		return werr
+	}
+	_, err = fmt.Fprintf(w, "  derived bandwidth: %.1f GB/s (%.0f%% of %s peak)\n",
+		bw, 100*bw/p.PeakGBs(), p.Name)
+	return err
+}

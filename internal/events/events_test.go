@@ -1,0 +1,160 @@
+package events
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockRoundTrip(t *testing.T) {
+	c := NewClock(2.1e9)
+	if got := c.Period(); got != 476 {
+		t.Fatalf("2.1GHz period = %d ps, want 476", got)
+	}
+	d := c.Cycles(100)
+	if cyc := c.ToCycles(d); cyc < 99.9 || cyc > 100.1 {
+		t.Fatalf("round trip 100 cycles -> %v", cyc)
+	}
+}
+
+func TestClockPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	var s Scheduler
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestAfterChainsRelativeTime(t *testing.T) {
+	var s Scheduler
+	var fired Time
+	s.After(100, func() {
+		s.After(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 150 {
+		t.Fatalf("chained After fired at %d, want 150", fired)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	var s Scheduler
+	ran := 0
+	s.At(10, func() { ran++ })
+	s.At(20, func() { ran++ })
+	s.At(30, func() { ran++ })
+	s.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var s Scheduler
+	s.RunUntil(1000)
+	if s.Now() != 1000 {
+		t.Fatalf("Now() = %d, want 1000", s.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	var s Scheduler
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i), func() { ran++ })
+	}
+	s.RunWhile(func() bool { return ran < 4 })
+	if ran != 4 {
+		t.Fatalf("RunWhile stopped after %d events, want 4", ran)
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order, including interleaved insertion during dispatch.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Scheduler
+		var fired []Time
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			at := Time(rng.Intn(1000))
+			s.At(at, func() {
+				fired = append(fired, s.Now())
+				// Sometimes schedule a follow-up event.
+				if rng.Intn(3) == 0 {
+					s.After(Duration(rng.Intn(100)), func() {
+						fired = append(fired, s.Now())
+					})
+				}
+			})
+		}
+		s.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromNanoseconds(1.5); got != 1500 {
+		t.Fatalf("FromNanoseconds(1.5) = %d, want 1500", got)
+	}
+	if got := Time(2500).Nanoseconds(); got != 2.5 {
+		t.Fatalf("Nanoseconds() = %v, want 2.5", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+}

@@ -1,0 +1,139 @@
+package memsys
+
+// CacheStats counts cache activity over a measurement window.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// MissRatio returns misses / (hits+misses), or 0 with no accesses.
+func (s CacheStats) MissRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement. It operates on line addresses; timing lives in Hierarchy.
+type Cache struct {
+	sets    [][]way // each set ordered MRU-first
+	setMask uint64
+	Stats   CacheStats
+}
+
+// NewCache builds a cache with the given set count and associativity.
+// setCount must be a power of two.
+func NewCache(setCount, ways int) *Cache {
+	if setCount <= 0 || setCount&(setCount-1) != 0 {
+		panic("memsys: cache set count must be a positive power of two")
+	}
+	if ways <= 0 {
+		panic("memsys: cache ways must be positive")
+	}
+	c := &Cache{sets: make([][]way, setCount), setMask: uint64(setCount - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]way, 0, ways)
+	}
+	return c
+}
+
+// ResetStats clears counters without touching cache contents.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+func (c *Cache) set(line Line) *[]way { return &c.sets[uint64(line)&c.setMask] }
+func (c *Cache) tag(line Line) uint64 { return uint64(line) >> 0 } // full line address as tag
+
+// Probe reports whether line is present without updating LRU or stats.
+func (c *Cache) Probe(line Line) bool {
+	for _, w := range *c.set(line) {
+		if w.valid && w.tag == c.tag(line) {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up line, updating LRU and hit/miss statistics. A write hit
+// marks the line dirty. It reports whether the access hit.
+func (c *Cache) Access(line Line, write bool) bool {
+	set := c.set(line)
+	tag := c.tag(line)
+	for i, w := range *set {
+		if w.valid && w.tag == tag {
+			// Move to MRU position.
+			copy((*set)[1:i+1], (*set)[:i])
+			w.dirty = w.dirty || write
+			(*set)[0] = w
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Fill inserts line (marking it dirty if dirty), evicting the LRU way if
+// the set is full. It returns the victim line and whether the victim was
+// dirty (requiring a writeback). Filling a line that is already present
+// only updates its dirty bit.
+func (c *Cache) Fill(line Line, dirty bool) (victim Line, writeback bool) {
+	set := c.set(line)
+	tag := c.tag(line)
+	for i, w := range *set {
+		if w.valid && w.tag == tag {
+			copy((*set)[1:i+1], (*set)[:i])
+			w.dirty = w.dirty || dirty
+			(*set)[0] = w
+			return 0, false
+		}
+	}
+	c.Stats.Fills++
+	if len(*set) < cap(*set) {
+		*set = append(*set, way{})
+		copy((*set)[1:], (*set)[:len(*set)-1])
+		(*set)[0] = way{tag: tag, valid: true, dirty: dirty}
+		return 0, false
+	}
+	// Evict LRU (last element).
+	v := (*set)[len(*set)-1]
+	copy((*set)[1:], (*set)[:len(*set)-1])
+	(*set)[0] = way{tag: tag, valid: true, dirty: dirty}
+	c.Stats.Evictions++
+	if v.dirty {
+		c.Stats.Writebacks++
+	}
+	return Line(v.tag), v.dirty
+}
+
+// Invalidate removes line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(line Line) (present, dirty bool) {
+	set := c.set(line)
+	tag := c.tag(line)
+	for i, w := range *set {
+		if w.valid && w.tag == tag {
+			*set = append((*set)[:i], (*set)[i+1:]...)
+			return true, w.dirty
+		}
+	}
+	return false, false
+}
+
+// Len returns the number of resident lines (for tests).
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.sets {
+		n += len(s)
+	}
+	return n
+}

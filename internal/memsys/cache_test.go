@@ -1,0 +1,146 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(4, 2)
+	if c.Access(Line(100), false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(Line(100), false)
+	if !c.Access(Line(100), false) {
+		t.Fatal("filled line missed")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2) // single set, 2 ways
+	c.Fill(Line(0), false)
+	c.Fill(Line(1), false)
+	c.Access(Line(0), false) // 0 becomes MRU
+	victim, wb := c.Fill(Line(2), false)
+	if victim != Line(1) || wb {
+		t.Fatalf("victim = %d (wb=%v), want 1 clean", victim, wb)
+	}
+	if !c.Probe(Line(0)) || !c.Probe(Line(2)) || c.Probe(Line(1)) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(1, 1)
+	c.Fill(Line(5), false)
+	c.Access(Line(5), true) // dirty it
+	victim, wb := c.Fill(Line(6), false)
+	if victim != Line(5) || !wb {
+		t.Fatalf("dirty eviction = (%d, %v), want (5, true)", victim, wb)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestCacheFillExistingUpdatesDirty(t *testing.T) {
+	c := NewCache(1, 2)
+	c.Fill(Line(1), false)
+	if v, wb := c.Fill(Line(1), true); v != 0 || wb {
+		t.Fatal("re-fill evicted something")
+	}
+	if victim, wb := c.Fill(Line(2), false); victim != 0 || wb {
+		t.Fatal("set not full yet, no eviction expected")
+	}
+	// Now evicting line 1 must be a writeback (dirtied by second Fill).
+	c.Access(Line(2), false)
+	if victim, wb := c.Fill(Line(3), false); victim != Line(1) || !wb {
+		t.Fatalf("eviction = (%d, %v), want (1, true)", victim, wb)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(2, 2)
+	c.Fill(Line(7), true)
+	present, dirty := c.Invalidate(Line(7))
+	if !present || !dirty {
+		t.Fatalf("Invalidate = (%v, %v), want (true, true)", present, dirty)
+	}
+	if c.Probe(Line(7)) {
+		t.Fatal("line still present after invalidate")
+	}
+	if present, _ := c.Invalidate(Line(7)); present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestCacheSetIsolation(t *testing.T) {
+	c := NewCache(4, 1)
+	// Lines 0..3 map to different sets; none should evict another.
+	for i := 0; i < 4; i++ {
+		c.Fill(Line(i), false)
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Probe(Line(i)) {
+			t.Fatalf("line %d evicted despite set isolation", i)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestCachePanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache(3, 2) },
+		func() { NewCache(0, 2) },
+		func() { NewCache(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: occupancy never exceeds sets×ways; a line just filled is always
+// present; hits+misses equals accesses.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := 1 << (1 + rng.Intn(4))
+		ways := 1 + rng.Intn(8)
+		c := NewCache(sets, ways)
+		accesses := uint64(0)
+		for i := 0; i < 500; i++ {
+			line := Line(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				c.Access(line, rng.Intn(2) == 0)
+				accesses++
+			case 1:
+				c.Fill(line, rng.Intn(2) == 0)
+				if !c.Probe(line) {
+					return false
+				}
+			case 2:
+				c.Invalidate(line)
+			}
+			if c.Len() > sets*ways {
+				return false
+			}
+		}
+		return c.Stats.Hits+c.Stats.Misses == accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+package memsys
+
+import (
+	"littleslaw/internal/events"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// DRAMStats aggregates memory-device activity over a measurement window.
+type DRAMStats struct {
+	Reads     uint64 // line reads serviced
+	Writes    uint64 // line writes (writebacks) serviced
+	RowHits   uint64
+	RowMisses uint64
+	// QueueWaitPs accumulates time requests spent queued at a busy bank;
+	// BusWaitPs time spent waiting for the channel data bus.
+	QueueWaitPs uint64
+	BusWaitPs   uint64
+	// LatencyPs accumulates full read round-trip time (for mean latency).
+	LatencyPs uint64
+}
+
+// BytesMoved returns total traffic in bytes for a given line size.
+func (s DRAMStats) BytesMoved(lineBytes int) uint64 {
+	return (s.Reads + s.Writes) * uint64(lineBytes)
+}
+
+// MeanReadLatencyNs returns the average read round trip in nanoseconds.
+func (s DRAMStats) MeanReadLatencyNs() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.LatencyPs) / float64(s.Reads) / 1e3
+}
+
+// RowHitFraction returns hits / (hits+misses), or 0.
+func (s DRAMStats) RowHitFraction() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+type dramReq struct {
+	row    uint64
+	write  bool
+	done   func()
+	arrive events.Time
+}
+
+type bank struct {
+	busy      bool
+	openRow   uint64
+	hasRow    bool
+	hitStreak int
+	queue     []dramReq
+}
+
+type channel struct {
+	busFreeAt events.Time
+	banks     []bank
+}
+
+// DRAM models the node's memory device (DDR4, MCDRAM or HBM2) as
+// address-interleaved channels, each with a shared data bus and independent
+// banks with a row-buffer. Each bank schedules its queue row-hit-first
+// (FR-FCFS, with a starvation cap), as real memory controllers do; loaded
+// latency — and therefore the platform's bandwidth→latency curve — emerges
+// from this queueing rather than from a fitted formula.
+type DRAM struct {
+	sched       *events.Scheduler
+	cfg         platform.MemoryConfig
+	lineBytes   int
+	linesPerRow uint64
+	basePs      events.Duration
+	rowHitPs    events.Duration
+	rowMissPs   events.Duration
+	transferPs  events.Duration
+	chans       []channel
+
+	// Occ tracks outstanding read requests at the device, time-weighted.
+	Occ   queueing.OccupancyStat
+	Stats DRAMStats
+}
+
+// maxHitStreak bounds consecutive row-hit-first picks so interleaved rows
+// are never starved.
+const maxHitStreak = 16
+
+// NewDRAM builds the memory device for a platform.
+func NewDRAM(sched *events.Scheduler, p *platform.Platform) *DRAM {
+	m := p.Memory
+	d := &DRAM{
+		sched:       sched,
+		cfg:         m,
+		lineBytes:   p.LineBytes,
+		linesPerRow: uint64(m.RowBytes / p.LineBytes),
+		basePs:      events.FromNanoseconds(m.BaseLatencyNs),
+		rowHitPs:    events.FromNanoseconds(m.RowHitNs),
+		rowMissPs:   events.FromNanoseconds(m.RowMissNs),
+		transferPs:  events.FromNanoseconds(m.TransferNs(p.LineBytes)),
+		chans:       make([]channel, m.Channels),
+	}
+	for i := range d.chans {
+		d.chans[i].banks = make([]bank, m.BanksPerChannel)
+	}
+	d.Occ.Reset(sched.Now())
+	return d
+}
+
+// ResetStats clears counters and restarts occupancy tracking at now.
+func (d *DRAM) ResetStats() {
+	d.Stats = DRAMStats{}
+	d.Occ.Reset(d.sched.Now())
+}
+
+// mix64 is the splitmix64 finalizer, used to hash row indices into bank
+// selections the way memory controllers XOR-scramble bank bits: without
+// it, power-of-two-spaced buffers from different cores alias onto the
+// same bank and serialize the whole machine.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// route decomposes a line address into channel, bank and row. Consecutive
+// lines interleave across channels; within a channel consecutive lines
+// share a row until it is exhausted, giving streams row-buffer locality;
+// the bank is a hash of the row so that concurrent streams spread across
+// the bank-level parallelism.
+func (d *DRAM) route(line Line) (ch *channel, bk *bank, row uint64) {
+	nc := uint64(len(d.chans))
+	ci := uint64(line) % nc
+	inChan := uint64(line) / nc
+	row = inChan / d.linesPerRow
+	ch = &d.chans[ci]
+	bk = &ch.banks[mix64(row)%uint64(len(ch.banks))]
+	return ch, bk, row
+}
+
+// Access presents one line request to the device. For reads, done (if
+// non-nil) fires when the data returns to the requester; writes complete
+// in the background. The read latency is
+//
+//	base (interconnect round trip) + bank queue + bank service + bus queue + transfer
+func (d *DRAM) Access(line Line, write bool, done func()) {
+	now := d.sched.Now()
+	ch, bk, row := d.route(line)
+
+	if write {
+		d.Stats.Writes++
+	} else {
+		d.Stats.Reads++
+		d.Occ.Arrive(now)
+	}
+
+	req := dramReq{row: row, write: write, done: done, arrive: now}
+	// The request reaches the controller after half the base round trip.
+	d.sched.After(d.basePs/2, func() {
+		bk.queue = append(bk.queue, req)
+		if !bk.busy {
+			d.serviceBank(ch, bk)
+		}
+	})
+}
+
+// serviceBank picks the next request for an idle bank (row-hit-first with
+// a starvation cap), reserves the bank and bus, and schedules completion
+// and the next scheduling round.
+func (d *DRAM) serviceBank(ch *channel, bk *bank) {
+	if len(bk.queue) == 0 {
+		bk.busy = false
+		return
+	}
+	bk.busy = true
+
+	// FR-FCFS pick: oldest row hit, unless the hit streak is exhausted, in
+	// which case the oldest request wins (guaranteeing progress).
+	pick := 0
+	if bk.hasRow && bk.hitStreak < maxHitStreak {
+		for i := range bk.queue {
+			if bk.queue[i].row == bk.openRow {
+				pick = i
+				break
+			}
+		}
+	}
+	req := bk.queue[pick]
+	bk.queue = append(bk.queue[:pick], bk.queue[pick+1:]...)
+
+	now := d.sched.Now()
+	var access, occupancy events.Duration
+	if bk.hasRow && bk.openRow == req.row {
+		// Row hits pipeline at the bus rate (consecutive CAS bursts).
+		access, occupancy = d.rowHitPs, d.transferPs
+		bk.hitStreak++
+		d.Stats.RowHits++
+	} else {
+		access, occupancy = d.rowMissPs, d.rowMissPs
+		bk.hitStreak = 0
+		d.Stats.RowMisses++
+	}
+	bk.openRow, bk.hasRow = req.row, true
+	d.Stats.QueueWaitPs += uint64(now - req.arrive - d.basePs/2)
+
+	dataReady := now + access
+	bankFree := now + occupancy
+
+	// The data transfer queues on the channel bus independently of the
+	// bank, which can begin its next activate as soon as its own occupancy
+	// window ends — banks must not idle behind bus backpressure.
+	busStart := max(dataReady, ch.busFreeAt)
+	busDone := busStart + d.transferPs
+	ch.busFreeAt = busDone
+	d.Stats.BusWaitPs += uint64(busStart - dataReady)
+
+	d.sched.At(bankFree, func() { d.serviceBank(ch, bk) })
+
+	completeAt := busDone + d.basePs/2
+	if req.write {
+		if req.done != nil {
+			d.sched.At(completeAt, req.done)
+		}
+		return
+	}
+	lat := completeAt - req.arrive
+	d.Stats.LatencyPs += uint64(lat)
+	d.sched.At(completeAt, func() {
+		d.Occ.Depart(d.sched.Now(), lat)
+		if req.done != nil {
+			req.done()
+		}
+	})
+}

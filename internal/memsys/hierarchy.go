@@ -1,0 +1,420 @@
+package memsys
+
+import (
+	"math/bits"
+
+	"littleslaw/internal/events"
+	"littleslaw/internal/platform"
+)
+
+// HierarchyStats aggregates per-core memory-hierarchy activity.
+type HierarchyStats struct {
+	DemandLoads  uint64
+	DemandStores uint64
+	SWPrefetches uint64
+
+	// L1FullStallPs / L2FullStallPs accumulate the time demand requests
+	// spent waiting for a free MSHR — the "MSHRQ-full stalls" of Table I.
+	L1FullStallPs uint64
+	L2FullStallPs uint64
+
+	HWPrefetchDropped uint64 // hardware prefetches dropped on a full L2 MSHRQ
+	SWPrefetchDropped uint64 // software prefetches dropped (bounded retry queue)
+
+	// Memory reads initiated below L2, by originating request kind. Their
+	// ratio is the "fraction of memory requests generated from hardware
+	// prefetcher versus demand loads" the recipe uses to decide whether the
+	// L1 or the L2 MSHRQ is the binding structure (§III-D).
+	L2MissDemand     uint64
+	L2MissHWPrefetch uint64
+	L2MissSWPrefetch uint64
+}
+
+// PrefetchedReadFraction returns the fraction of memory reads initiated by
+// prefetchers (hardware or software) rather than demand misses.
+func (s HierarchyStats) PrefetchedReadFraction() float64 {
+	total := s.L2MissDemand + s.L2MissHWPrefetch + s.L2MissSWPrefetch
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L2MissHWPrefetch+s.L2MissSWPrefetch) / float64(total)
+}
+
+// Node is the memory system shared by all cores: the memory device and,
+// on Skylake, the shared L3. A Node is created once per simulated machine
+// and each core attaches a Hierarchy to it.
+//
+// When the platform configures a memory-side cache (KNL cache mode), DRAM
+// is the fast tier, SlowDRAM the backing store, and a direct-mapped
+// line-granular tag array decides which serves each fetch.
+type Node struct {
+	Sched *events.Scheduler
+	Plat  *platform.Platform
+	DRAM  *DRAM
+
+	L3      *Cache // nil when the platform has no shared LLC
+	l3HitPs events.Duration
+
+	// Memory-side cache state (nil/empty without one).
+	SlowDRAM  *DRAM
+	mcTags    []uint64 // tag per direct-mapped set; 0 = invalid
+	mcSetMask uint64
+	MCHits    uint64
+	MCMisses  uint64
+
+	lineShift uint
+}
+
+// NewNode builds the shared memory side for a platform.
+func NewNode(sched *events.Scheduler, p *platform.Platform) *Node {
+	n := &Node{
+		Sched:     sched,
+		Plat:      p,
+		DRAM:      NewDRAM(sched, p),
+		lineShift: uint(bits.TrailingZeros(uint(p.LineBytes))),
+	}
+	if p.L3 != nil {
+		n.L3 = NewCache(p.L3.Sets(p.LineBytes), p.L3.Ways)
+		n.l3HitPs = p.Clock().Cycles(p.L3.HitCycles)
+	}
+	if mc := p.MemCache; mc != nil {
+		fast := *p
+		fast.Memory = mc.Fast
+		n.DRAM = NewDRAM(sched, &fast)
+		n.SlowDRAM = NewDRAM(sched, p)
+		sets := mc.SizeBytes / p.LineBytes
+		// Round down to a power of two for masking.
+		for sets&(sets-1) != 0 {
+			sets &= sets - 1
+		}
+		n.mcTags = make([]uint64, sets)
+		n.mcSetMask = uint64(sets - 1)
+	}
+	return n
+}
+
+// mcLookup probes and updates the memory-side cache for line, returning
+// whether the fast tier holds it. Misses install the line (direct-mapped
+// eviction of the previous occupant). The set index is hashed: physical
+// page scattering spreads virtual arenas across the cache, and without it
+// power-of-two-spaced per-core arenas would alias onto the same sets.
+func (n *Node) mcLookup(line Line) bool {
+	set := mix64(uint64(line)) & n.mcSetMask
+	tag := uint64(line) | 1<<63 // bit 63 marks validity
+	if n.mcTags[set] == tag {
+		n.MCHits++
+		return true
+	}
+	n.mcTags[set] = tag
+	n.MCMisses++
+	return false
+}
+
+// LineOf converts a byte address to a line address on this platform.
+func (n *Node) LineOf(addr uint64) Line { return Line(addr >> n.lineShift) }
+
+// ResetStats clears DRAM and L3 counters.
+func (n *Node) ResetStats() {
+	n.DRAM.ResetStats()
+	if n.SlowDRAM != nil {
+		n.SlowDRAM.ResetStats()
+		n.MCHits, n.MCMisses = 0, 0
+	}
+	if n.L3 != nil {
+		n.L3.ResetStats()
+	}
+}
+
+// MCHitFraction returns the memory-side cache hit rate (0 without one).
+func (n *Node) MCHitFraction() float64 {
+	t := n.MCHits + n.MCMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(n.MCHits) / float64(t)
+}
+
+// fetch retrieves line from beyond a core's L2: L3 if present, then memory
+// (through the memory-side cache when configured). onData fires when the
+// line arrives at the requesting L2.
+func (n *Node) fetch(line Line, onData func()) {
+	if n.L3 != nil && n.L3.Access(line, false) {
+		n.Sched.After(n.l3HitPs, onData)
+		return
+	}
+	deliver := func() {
+		if n.L3 != nil {
+			if victim, dirty := n.L3.Fill(line, false); dirty {
+				n.DRAM.Access(victim, true, nil)
+			}
+		}
+		onData()
+	}
+	if n.SlowDRAM != nil && !n.mcLookup(line) {
+		// Memory-side cache miss: the far tier services the request; the
+		// fill into the fast tier rides in the background.
+		n.SlowDRAM.Access(line, false, func() {
+			n.DRAM.Access(line, true, nil)
+			deliver()
+		})
+		return
+	}
+	n.DRAM.Access(line, false, deliver)
+}
+
+// writeback sends a dirty line from a core's L2 toward memory.
+func (n *Node) writeback(line Line) {
+	if n.L3 != nil {
+		if victim, dirty := n.L3.Fill(line, true); dirty {
+			n.DRAM.Access(victim, true, nil)
+		}
+		return
+	}
+	n.DRAM.Access(line, true, nil)
+}
+
+type pendingReq struct {
+	line  Line
+	kind  Kind
+	done  func()
+	since events.Time
+}
+
+// Hierarchy is one core's private memory hierarchy: L1 and L2 caches with
+// their MSHR files and the L2 hardware stream prefetcher, attached to the
+// node-shared L3/memory. SMT threads on the core share the Hierarchy, and
+// therefore its MSHRs — the resource interaction behind the paper's SMT
+// guidance (§III-C).
+type Hierarchy struct {
+	node *Node
+
+	L1, L2   *Cache
+	L1M, L2M *MSHR
+	PF       *StreamPrefetcher
+
+	l1HitPs events.Duration
+	l2HitPs events.Duration
+
+	pendingL1 []pendingReq
+	pendingL2 []pendingReq
+	maxSWPend int
+
+	// NoCoalesce disables MSHR request merging for ablation studies: a
+	// request to an already-outstanding line still waits on the existing
+	// entry (the data dependency is real) but issues a duplicate memory
+	// read, the traffic a coalescing-free design would generate.
+	NoCoalesce bool
+
+	Stats HierarchyStats
+}
+
+// NewHierarchy attaches a fresh core hierarchy to node.
+func NewHierarchy(node *Node) *Hierarchy {
+	p := node.Plat
+	clk := p.Clock()
+	h := &Hierarchy{
+		node:      node,
+		L1:        NewCache(p.L1.Sets(p.LineBytes), p.L1.Ways),
+		L2:        NewCache(p.L2.Sets(p.LineBytes), p.L2.Ways),
+		L1M:       NewMSHR(node.Sched, p.L1.MSHRs),
+		L2M:       NewMSHR(node.Sched, p.L2.MSHRs),
+		l1HitPs:   clk.Cycles(p.L1.HitCycles),
+		l2HitPs:   clk.Cycles(p.L2.HitCycles),
+		maxSWPend: p.L2.MSHRs,
+	}
+	h.PF = NewStreamPrefetcher(p.Prefetcher, p.LineBytes, func(line Line) {
+		h.l2Request(line, hwPrefetch, nil)
+	})
+	return h
+}
+
+// ResetStats clears all counters on the core, preserving cache and MSHR state.
+func (h *Hierarchy) ResetStats() {
+	h.Stats = HierarchyStats{}
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	h.L1M.ResetStats()
+	h.L2M.ResetStats()
+	h.PF.ResetStats()
+}
+
+// Access presents one byte-addressed memory operation to the hierarchy.
+// For demand loads and stores, done fires when the data is available in L1
+// (load-to-use). For software prefetches done may be nil; if provided it
+// fires when the prefetch has been accepted (not completed), since prefetch
+// instructions retire without waiting.
+func (h *Hierarchy) Access(addr uint64, kind Kind, done func()) {
+	line := h.node.LineOf(addr)
+	switch kind {
+	case Load:
+		h.Stats.DemandLoads++
+	case Store:
+		h.Stats.DemandStores++
+	case PrefetchL2, PrefetchL1:
+		h.Stats.SWPrefetches++
+	}
+
+	if kind == PrefetchL2 {
+		// L2-targeted software prefetch bypasses the L1 and its MSHRs.
+		// done (if any) fires when the prefetch resolves — the line reaches
+		// L2, or the request is dropped — so callers that flow-control
+		// prefetch streams (e.g. the X-Mem load generators) can reissue.
+		h.l2Request(line, PrefetchL2, done)
+		return
+	}
+
+	if h.L1.Access(line, kind == Store) {
+		if done != nil {
+			h.node.Sched.After(h.l1HitPs, done)
+		}
+		return
+	}
+	h.l1Miss(pendingReq{line: line, kind: kind, done: done, since: h.node.Sched.Now()})
+}
+
+func (h *Hierarchy) l1Miss(req pendingReq) {
+	if h.L1M.Outstanding(req.line) {
+		h.L1M.Coalesce(req.line, req.done)
+		if h.NoCoalesce {
+			h.node.DRAM.Access(req.line, false, nil)
+		}
+		return
+	}
+	if h.L1M.Full() {
+		h.L1M.NoteFull()
+		h.pendingL1 = append(h.pendingL1, req)
+		return
+	}
+	h.L1M.Allocate(req.line)
+	if req.done != nil {
+		h.L1M.Coalesce(req.line, req.done)
+		h.L1M.Stats.Coalesced-- // first waiter is not a coalesced request
+	}
+	dirty := req.kind == Store
+	// Miss detection takes an L1 lookup; then the request goes to L2.
+	h.node.Sched.After(h.l1HitPs, func() {
+		h.l2Request(req.line, req.kind, func() { h.fillL1(req.line, dirty) })
+	})
+}
+
+// l2Request looks up line in the L2 on behalf of a demand miss from L1, a
+// software L2 prefetch, or the hardware prefetcher. onData (may be nil)
+// fires when the line is present in L2.
+func (h *Hierarchy) l2Request(line Line, kind Kind, onData func()) {
+	if kind.isDemand() || kind == PrefetchL1 {
+		h.PF.Observe(line)
+	}
+	if h.L2.Access(line, false) {
+		if onData != nil {
+			h.node.Sched.After(h.l2HitPs, onData)
+		}
+		return
+	}
+	h.l2Miss(pendingReq{line: line, kind: kind, done: onData, since: h.node.Sched.Now()})
+}
+
+func (h *Hierarchy) l2Miss(req pendingReq) {
+	if h.L2M.Outstanding(req.line) {
+		h.L2M.Coalesce(req.line, req.done)
+		if h.NoCoalesce {
+			h.node.DRAM.Access(req.line, false, nil)
+		}
+		return
+	}
+	if h.L2M.Full() {
+		h.L2M.NoteFull()
+		switch req.kind {
+		case hwPrefetch:
+			h.Stats.HWPrefetchDropped++
+		case PrefetchL2:
+			// Fire-and-forget software prefetches drop on a full MSHR
+			// file, as on real hardware; flow-controlled issuers (those
+			// waiting for the resolve callback) queue within a bounded
+			// buffer instead.
+			if req.done != nil && len(h.pendingL2) < h.maxSWPend {
+				h.pendingL2 = append(h.pendingL2, req)
+			} else {
+				h.Stats.SWPrefetchDropped++
+				if req.done != nil {
+					h.node.Sched.After(0, req.done)
+				}
+			}
+		default:
+			h.pendingL2 = append(h.pendingL2, req)
+		}
+		return
+	}
+	h.L2M.Allocate(req.line)
+	switch req.kind {
+	case hwPrefetch:
+		h.Stats.L2MissHWPrefetch++
+	case PrefetchL2:
+		h.Stats.L2MissSWPrefetch++
+	default:
+		h.Stats.L2MissDemand++
+	}
+	if req.done != nil {
+		h.L2M.Coalesce(req.line, req.done)
+		h.L2M.Stats.Coalesced--
+	}
+	// The L2 lookup that detected the miss precedes the downstream fetch.
+	h.node.Sched.After(h.l2HitPs, func() {
+		h.node.fetch(req.line, func() { h.fillL2(req.line) })
+	})
+}
+
+func (h *Hierarchy) fillL2(line Line) {
+	if victim, dirty := h.L2.Fill(line, false); dirty {
+		h.node.writeback(victim)
+	}
+	for _, w := range h.L2M.Complete(line) {
+		w()
+	}
+	h.drainL2Pending()
+}
+
+func (h *Hierarchy) fillL1(line Line, dirty bool) {
+	if victim, wb := h.L1.Fill(line, dirty); wb {
+		// Dirty L1 victims land in L2 (usually already resident).
+		h.L2.Fill(victim, true)
+	}
+	for _, w := range h.L1M.Complete(line) {
+		w()
+	}
+	h.drainL1Pending()
+}
+
+func (h *Hierarchy) drainL1Pending() {
+	now := h.node.Sched.Now()
+	for len(h.pendingL1) > 0 && !h.L1M.Full() {
+		req := h.pendingL1[0]
+		h.pendingL1 = h.pendingL1[1:]
+		h.Stats.L1FullStallPs += uint64(now - req.since)
+		// The line may have been filled while this request waited.
+		if h.L1.Access(req.line, req.kind == Store) {
+			if req.done != nil {
+				h.node.Sched.After(h.l1HitPs, req.done)
+			}
+			continue
+		}
+		h.l1Miss(pendingReq{line: req.line, kind: req.kind, done: req.done, since: now})
+	}
+}
+
+func (h *Hierarchy) drainL2Pending() {
+	now := h.node.Sched.Now()
+	for len(h.pendingL2) > 0 && !h.L2M.Full() {
+		req := h.pendingL2[0]
+		h.pendingL2 = h.pendingL2[1:]
+		if req.kind.isDemand() || req.kind == PrefetchL1 {
+			h.Stats.L2FullStallPs += uint64(now - req.since)
+		}
+		if h.L2.Access(req.line, false) {
+			if req.done != nil {
+				h.node.Sched.After(h.l2HitPs, req.done)
+			}
+			continue
+		}
+		h.l2Miss(pendingReq{line: req.line, kind: req.kind, done: req.done, since: now})
+	}
+}

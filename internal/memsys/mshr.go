@@ -1,0 +1,112 @@
+package memsys
+
+import (
+	"littleslaw/internal/events"
+	"littleslaw/internal/queueing"
+)
+
+// MSHRStats counts miss-status-handling-register activity.
+type MSHRStats struct {
+	Allocations uint64 // entries created (unique line misses forwarded)
+	Coalesced   uint64 // requests merged into an existing entry
+	FullEvents  uint64 // allocation attempts rejected because the queue was full
+}
+
+// MSHR models a miss-status-handling-register file: the set of unique
+// outstanding line misses at one cache level (§III-A). Requests to a line
+// that is already outstanding coalesce onto the existing entry instead of
+// generating duplicate memory traffic. The time-weighted occupancy of this
+// structure is the paper's ground-truth MLP.
+type MSHR struct {
+	capacity int
+	sched    *events.Scheduler
+	entries  map[Line]*mshrEntry
+
+	// Occ is the exact time-weighted occupancy of the register file.
+	Occ   queueing.OccupancyStat
+	Stats MSHRStats
+}
+
+type mshrEntry struct {
+	allocated events.Time
+	waiters   []func()
+}
+
+// NewMSHR builds an MSHR file with the given capacity.
+func NewMSHR(sched *events.Scheduler, capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("memsys: MSHR capacity must be positive")
+	}
+	m := &MSHR{capacity: capacity, sched: sched, entries: make(map[Line]*mshrEntry, capacity)}
+	m.Occ.Reset(sched.Now())
+	return m
+}
+
+// Capacity returns the register count.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// InFlight returns the current number of outstanding line misses.
+func (m *MSHR) InFlight() int { return len(m.entries) }
+
+// Full reports whether no register is free.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Outstanding reports whether line already has an entry.
+func (m *MSHR) Outstanding(line Line) bool {
+	_, ok := m.entries[line]
+	return ok
+}
+
+// Allocate creates an entry for line. The caller must have checked Full and
+// Outstanding; violating either panics, because both indicate a protocol
+// bug in the hierarchy rather than a recoverable condition.
+func (m *MSHR) Allocate(line Line) {
+	if m.Full() {
+		panic("memsys: MSHR allocate on full queue")
+	}
+	if _, ok := m.entries[line]; ok {
+		panic("memsys: duplicate MSHR allocation")
+	}
+	m.entries[line] = &mshrEntry{allocated: m.sched.Now()}
+	m.Occ.Arrive(m.sched.Now())
+	m.Stats.Allocations++
+}
+
+// Coalesce attaches fn to the outstanding entry for line. fn runs when the
+// line fills. It panics if the line is not outstanding.
+func (m *MSHR) Coalesce(line Line, fn func()) {
+	e, ok := m.entries[line]
+	if !ok {
+		panic("memsys: coalesce on line with no MSHR entry")
+	}
+	if fn != nil {
+		e.waiters = append(e.waiters, fn)
+	}
+	m.Stats.Coalesced++
+}
+
+// NoteFull records a rejected allocation attempt (an "MSHRQ full" event,
+// the stall source Table I shows most vendors cannot expose).
+func (m *MSHR) NoteFull() { m.Stats.FullEvents++ }
+
+// Complete releases the entry for line and returns its waiters, which the
+// caller invokes after any fill latency. It panics if line has no entry.
+func (m *MSHR) Complete(line Line) []func() {
+	e, ok := m.entries[line]
+	if !ok {
+		panic("memsys: complete on line with no MSHR entry")
+	}
+	delete(m.entries, line)
+	now := m.sched.Now()
+	m.Occ.Depart(now, now-e.allocated)
+	return e.waiters
+}
+
+// ResetStats clears counters and restarts occupancy tracking, preserving
+// in-flight entries (the warmup boundary case).
+func (m *MSHR) ResetStats() {
+	m.Stats = MSHRStats{}
+	now := m.sched.Now()
+	m.Occ.Reset(now)
+	m.Occ.Set(now, len(m.entries))
+}

@@ -1,0 +1,156 @@
+package memsys
+
+import "littleslaw/internal/platform"
+
+// PrefetchStats counts hardware-prefetcher activity.
+type PrefetchStats struct {
+	Trained         uint64 // demand accesses observed
+	Issued          uint64 // prefetch requests handed to the hierarchy
+	StreamAllocs    uint64 // new streams tracked
+	StreamEvictions uint64 // streams displaced from the bounded table
+	PageStops       uint64 // prefetch frontiers halted at 4 KiB page boundaries
+}
+
+type stream struct {
+	region   uint64 // 4KiB-aligned region identifier
+	lastLine Line
+	next     Line // next line to prefetch
+	dir      int8 // +1 ascending, -1 descending, 0 untrained
+	hits     int8 // consecutive in-order observations
+	lastUse  uint64
+}
+
+// StreamPrefetcher models the L2 hardware stream prefetcher: a bounded
+// table of sequential streams, each prefetched a fixed distance ahead of
+// demand. The bounded table reproduces the paper's §IV-B observation that
+// KNL's prefetcher tracks only 16 streams, so deep SMT oversubscribes it
+// and prefetch coverage collapses.
+type StreamPrefetcher struct {
+	cfg     platform.PrefetcherConfig
+	lineLog uint // log2 lines per 4KiB region
+	issue   func(Line)
+	table   []stream
+	tick    uint64
+	Stats   PrefetchStats
+}
+
+// NewStreamPrefetcher builds a prefetcher; issue receives each prefetch
+// line address and routes it into the L2 (dropping it if no MSHR is free).
+func NewStreamPrefetcher(cfg platform.PrefetcherConfig, lineBytes int, issue func(Line)) *StreamPrefetcher {
+	linesPerRegion := 4096 / lineBytes
+	if linesPerRegion < 1 {
+		linesPerRegion = 1
+	}
+	log := uint(0)
+	for 1<<log < linesPerRegion {
+		log++
+	}
+	return &StreamPrefetcher{cfg: cfg, lineLog: log, issue: issue}
+}
+
+// ResetStats clears counters, preserving trained streams.
+func (p *StreamPrefetcher) ResetStats() { p.Stats = PrefetchStats{} }
+
+// ActiveStreams returns the number of tracked streams (for tests).
+func (p *StreamPrefetcher) ActiveStreams() int { return len(p.table) }
+
+// Observe trains the prefetcher on a demand access to line and issues any
+// triggered prefetches.
+func (p *StreamPrefetcher) Observe(line Line) {
+	if p.cfg.Streams <= 0 {
+		return
+	}
+	p.tick++
+	p.Stats.Trained++
+	region := uint64(line) >> p.lineLog
+
+	s := p.lookup(region)
+	if s == nil {
+		s = p.allocate(region, line)
+		return
+	}
+	s.lastUse = p.tick
+	delta := int64(line) - int64(s.lastLine)
+	switch {
+	case delta == 0:
+		return
+	case delta == 1 || delta == -1:
+		d := int8(delta)
+		if s.dir == d {
+			if s.hits < 4 {
+				s.hits++
+			}
+		} else {
+			s.dir, s.hits = d, 1
+			s.next = line + Line(d)
+		}
+	default:
+		// Non-unit stride inside the region: retrain.
+		s.dir, s.hits = 0, 0
+	}
+	s.lastLine = line
+
+	if s.dir == 0 || s.hits < 2 {
+		return
+	}
+	// Confirmed stream: keep the prefetch frontier Distance lines ahead of
+	// demand, issuing at most Degree lines per trigger. Never prefetch at
+	// or behind the demand frontier.
+	if s.dir > 0 && s.next <= line {
+		s.next = line + 1
+	}
+	if s.dir < 0 && s.next >= line {
+		s.next = line - 1
+	}
+	target := int64(line) + int64(s.dir)*int64(p.cfg.Distance)
+	issued := 0
+	for issued < p.cfg.Degree {
+		if s.dir > 0 && int64(s.next) > target {
+			break
+		}
+		if s.dir < 0 && (int64(s.next) < target || s.next > s.lastLine) {
+			break
+		}
+		// Hardware prefetchers cannot cross a 4 KiB page boundary: beyond
+		// it the physical mapping is unknown. Streams therefore retrain at
+		// every page, leaving the first lines of each page uncovered —
+		// the stall component that loop tiling (fewer cold streams) and
+		// software prefetching (no such limit) recover.
+		if uint64(s.next)>>p.lineLog != region {
+			p.Stats.PageStops++
+			break
+		}
+		p.issue(s.next)
+		p.Stats.Issued++
+		s.next += Line(s.dir)
+		issued++
+	}
+}
+
+func (p *StreamPrefetcher) lookup(region uint64) *stream {
+	for i := range p.table {
+		if p.table[i].region == region {
+			return &p.table[i]
+		}
+	}
+	return nil
+}
+
+func (p *StreamPrefetcher) allocate(region uint64, line Line) *stream {
+	s := stream{region: region, lastLine: line, next: line + 1, lastUse: p.tick}
+	p.Stats.StreamAllocs++
+	if len(p.table) < p.cfg.Streams {
+		p.table = append(p.table, s)
+		return &p.table[len(p.table)-1]
+	}
+	// Evict the least recently used stream.
+	victim := 0
+	for i := range p.table {
+		if p.table[i].lastUse < p.table[victim].lastUse {
+			victim = i
+		}
+	}
+	p.table[victim] = s
+	p.Stats.StreamEvictions++
+	return &p.table[victim]
+}

@@ -1,0 +1,114 @@
+package memsys
+
+import (
+	"testing"
+
+	"littleslaw/internal/platform"
+)
+
+func collectPF(cfg platform.PrefetcherConfig, lineBytes int) (*StreamPrefetcher, *[]Line) {
+	issued := &[]Line{}
+	pf := NewStreamPrefetcher(cfg, lineBytes, func(l Line) { *issued = append(*issued, l) })
+	return pf, issued
+}
+
+func TestPrefetcherDetectsAscendingStream(t *testing.T) {
+	pf, issued := collectPF(platform.PrefetcherConfig{Streams: 4, Distance: 8, Degree: 2}, 64)
+	for i := 0; i < 6; i++ {
+		before := len(*issued)
+		pf.Observe(Line(i))
+		// Every line issued by this trigger is ahead of the current frontier.
+		for _, l := range (*issued)[before:] {
+			if l <= Line(i) {
+				t.Fatalf("prefetch %d not ahead of demand frontier %d", l, i)
+			}
+		}
+	}
+	if len(*issued) == 0 {
+		t.Fatal("no prefetches for a clean ascending stream")
+	}
+}
+
+func TestPrefetcherDetectsDescendingStream(t *testing.T) {
+	pf, issued := collectPF(platform.PrefetcherConfig{Streams: 4, Distance: 8, Degree: 2}, 64)
+	for i := 100; i > 94; i-- {
+		before := len(*issued)
+		pf.Observe(Line(i))
+		for _, l := range (*issued)[before:] {
+			if l >= Line(i) {
+				t.Fatalf("descending prefetch %d not below demand frontier %d", l, i)
+			}
+		}
+	}
+	if len(*issued) == 0 {
+		t.Fatal("no prefetches for a descending stream")
+	}
+}
+
+func TestPrefetcherIgnoresRandomAccesses(t *testing.T) {
+	pf, issued := collectPF(platform.PrefetcherConfig{Streams: 4, Distance: 8, Degree: 2}, 64)
+	// Scatter accesses across distant regions: no stream should confirm.
+	for i := 0; i < 50; i++ {
+		pf.Observe(Line(i * 977))
+	}
+	if len(*issued) != 0 {
+		t.Fatalf("issued %d prefetches on random traffic", len(*issued))
+	}
+}
+
+func TestPrefetcherStreamTableEviction(t *testing.T) {
+	pf, _ := collectPF(platform.PrefetcherConfig{Streams: 2, Distance: 4, Degree: 1}, 64)
+	// Touch three distinct regions: table holds only two.
+	pf.Observe(Line(0 << 6))
+	pf.Observe(Line(1 << 10)) // different 4KiB region (64 lines apart)
+	pf.Observe(Line(1 << 12))
+	if pf.ActiveStreams() != 2 {
+		t.Fatalf("active streams = %d, want 2 (bounded table)", pf.ActiveStreams())
+	}
+	if pf.Stats.StreamEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", pf.Stats.StreamEvictions)
+	}
+}
+
+func TestPrefetcherThrashingKillsCoverage(t *testing.T) {
+	// The §IV-B effect: more concurrent streams than table entries makes
+	// per-stream training evaporate. Interleave 8 streams round-robin on a
+	// 4-entry table and compare with 2 streams.
+	run := func(streams int) uint64 {
+		pf, _ := collectPF(platform.PrefetcherConfig{Streams: 4, Distance: 8, Degree: 2}, 64)
+		for step := 0; step < 64; step++ {
+			for s := 0; s < streams; s++ {
+				base := Line(uint64(s) << 20)
+				pf.Observe(base + Line(step))
+			}
+		}
+		return pf.Stats.Issued / uint64(streams)
+	}
+	perStreamFew := run(2)
+	perStreamMany := run(8)
+	if perStreamMany*2 > perStreamFew {
+		t.Fatalf("thrashing table still prefetches: %d/stream with 8 streams vs %d/stream with 2",
+			perStreamMany, perStreamFew)
+	}
+}
+
+func TestPrefetcherDisabled(t *testing.T) {
+	pf, issued := collectPF(platform.PrefetcherConfig{Streams: 0}, 64)
+	for i := 0; i < 10; i++ {
+		pf.Observe(Line(i))
+	}
+	if len(*issued) != 0 {
+		t.Fatal("disabled prefetcher issued requests")
+	}
+}
+
+func TestPrefetcherLargeLines(t *testing.T) {
+	// A64FX: 256B lines, 16 lines per 4KiB region. Streams must still train.
+	pf, issued := collectPF(platform.PrefetcherConfig{Streams: 8, Distance: 4, Degree: 2}, 256)
+	for i := 0; i < 8; i++ {
+		pf.Observe(Line(i))
+	}
+	if len(*issued) == 0 {
+		t.Fatal("no prefetches with 256B lines")
+	}
+}

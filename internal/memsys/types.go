@@ -1,0 +1,52 @@
+// Package memsys simulates the memory system the Little's-Law metric
+// reasons about: per-core L1/L2 caches with MSHR queues, an optional shared
+// L3, an L2 hardware stream prefetcher with a bounded stream table, and a
+// multi-channel multi-bank memory device whose loaded latency emerges from
+// bank and bus queueing.
+//
+// All timing is event-driven on an events.Scheduler; simulated structures
+// keep exact time-weighted occupancy statistics so that the "true" MLP of a
+// run can be compared against the counter-derived Little's-Law estimate.
+package memsys
+
+// Line is a cache-line address: the byte address shifted right by
+// log2(line size). All structures in this package work at line granularity,
+// which is also the granularity MSHRs track (§III-A).
+type Line uint64
+
+// Kind classifies a memory access presented to the hierarchy.
+type Kind uint8
+
+const (
+	// Load is a demand read; the issuing thread waits for completion.
+	Load Kind = iota
+	// Store is a demand write (write-allocate, write-back).
+	Store
+	// PrefetchL2 is a software prefetch that fills the L2 only. It
+	// allocates an L2 MSHR but never an L1 MSHR — the mechanism §III-C
+	// exploits to sidestep a saturated L1 MSHR queue.
+	PrefetchL2
+	// PrefetchL1 is a software prefetch into L1 (allocates both MSHRs).
+	PrefetchL1
+	// hwPrefetch is generated internally by the stream prefetcher.
+	hwPrefetch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case PrefetchL2:
+		return "prefetch-l2"
+	case PrefetchL1:
+		return "prefetch-l1"
+	case hwPrefetch:
+		return "hw-prefetch"
+	}
+	return "unknown"
+}
+
+// isDemand reports whether the access blocks a hardware thread.
+func (k Kind) isDemand() bool { return k == Load || k == Store }

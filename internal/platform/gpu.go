@@ -1,0 +1,94 @@
+package platform
+
+// GPU returns a synthetic GPU-like device — an implementation of the
+// paper's §IV-H future-work sketch, not one of the evaluated machines
+// (it is therefore not part of All()).
+//
+// The mapping: a streaming multiprocessor is a "core" whose many resident
+// warps are hardware threads that hide latency the way SMT does on CPUs,
+// only far deeper; all their outstanding misses share the SM's MSHR file.
+// The paper's reasoning then transfers directly: low MSHR occupancy means
+// more concurrent warps/blocks will pay (the GPU analogue of enabling
+// SMT), while a full MSHR file means occupancy must be *reduced* — via
+// shared memory, the GPU analogue of tiling.
+func GPU() *Platform {
+	return &Platform{
+		Name:               "GPU",
+		Vendor:             "synthetic",
+		ISA:                "SIMT",
+		Cores:              80, // streaming multiprocessors
+		FreqHz:             1.4e9,
+		SMTWays:            32, // resident warps per SM
+		LineBytes:          128,
+		VectorLanes64:      32, // a warp
+		DemandWindow:       8,  // outstanding misses one warp sustains
+		ScalarIssuePenalty: 1.0,
+		// Warp schedulers interleave stalled warps almost for free.
+		SMTComputeShare:    0.08,
+		VectorIssuePenalty: 1.0,
+		L1:                 CacheConfig{SizeBytes: 128 << 10, Ways: 4, MSHRs: 32, HitCycles: 28},
+		L2:                 CacheConfig{SizeBytes: 512 << 10, Ways: 16, MSHRs: 64, HitCycles: 190},
+		L3:                 nil,
+		Prefetcher:         PrefetcherConfig{Streams: 0}, // GPUs rely on warps, not stream prefetchers
+		Memory: MemoryConfig{
+			Tech:             "HBM2-GPU",
+			TheoreticalGBs:   900,
+			Channels:         24,
+			BanksPerChannel:  16,
+			BaseLatencyNs:    220, // long SIMT pipeline + interconnect
+			RowHitNs:         15,
+			RowMissNs:        45,
+			RowBytes:         2 << 10,
+			BusGBsPerChannel: 32,
+		},
+	}
+}
+
+// HBM3E returns a hypothetical next-generation node — the §IV-G thought
+// experiment: with HBM2e/3-class bandwidth, the L2 MSHR file fills before
+// even streaming applications can reach peak bandwidth, so "is the MSHRQ
+// full" (not "is bandwidth at peak") becomes the reliable compute-bound
+// test. The core side is an A64FX-like design; only the memory is upgraded.
+func HBM3E() *Platform {
+	p := A64FX()
+	p.Name = "HBM3E"
+	p.Vendor = "hypothetical"
+	p.Memory = MemoryConfig{
+		Tech:             "HBM3e",
+		TheoreticalGBs:   2400,
+		Channels:         48,
+		BanksPerChannel:  8,
+		BaseLatencyNs:    62,
+		RowHitNs:         15,
+		RowMissNs:        45,
+		RowBytes:         2 << 10,
+		BusGBsPerChannel: 40,
+	}
+	return p
+}
+
+// KNLCacheMode returns the Knights Landing node in its other famous
+// configuration: MCDRAM as a memory-side cache in front of DDR4, instead
+// of the paper's flat mode. The core side is identical; only the memory
+// path changes. The cache capacity is scaled by the same factor as the
+// workloads' footprints.
+func KNLCacheMode() *Platform {
+	p := KNL()
+	p.Name = "KNL-cache"
+	mcdram := p.Memory
+	p.Memory = MemoryConfig{
+		Tech:            "DDR4",
+		TheoreticalGBs:  90,
+		Channels:        6,
+		BanksPerChannel: 16,
+		BaseLatencyNs:   124, // the far tier sits behind the MCDRAM tags
+		RowHitNs:        15,
+		RowMissNs:       45,
+		RowBytes:        8 << 10,
+	}
+	p.MemCache = &MemCacheConfig{
+		SizeBytes: 256 << 20,
+		Fast:      mcdram,
+	}
+	return p
+}

@@ -1,0 +1,143 @@
+// Package profiler provides CrayPat-style per-routine profiling: it runs
+// each routine (phase) of an application on the simulated node, attributes
+// time and memory traffic per routine, and derives the Little's-Law report
+// for each — plus the whole-program average that §III-D warns against
+// ("averaging counter data from multiple routines that often behave very
+// differently usually provides misleading guidance").
+package profiler
+
+import (
+	"fmt"
+	"io"
+
+	"littleslaw/internal/core"
+	"littleslaw/internal/counters"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/sim"
+)
+
+// Phase is one routine of the profiled application.
+type Phase struct {
+	Name string
+	// Config simulates the routine on the node.
+	Config sim.Config
+	// TimeWeight is the routine's share of application time (relative
+	// weights; they need not sum to 1).
+	TimeWeight float64
+	// RandomAccess classifies the routine for the MSHR-level decision.
+	RandomAccess bool
+}
+
+// RoutineProfile is the per-routine output.
+type RoutineProfile struct {
+	Name     string
+	TimeFrac float64
+	Result   *sim.Result
+	Report   *core.Report
+}
+
+// AppProfile is a profiled application.
+type AppProfile struct {
+	Platform string
+	Routines []RoutineProfile
+	// WholeProgram is the single report a whole-program profile would
+	// produce: time-weighted average bandwidth pushed through the same
+	// metric — the misleading aggregate.
+	WholeProgram *core.Report
+}
+
+// Profile runs every phase and builds the per-routine and whole-program
+// reports.
+func Profile(p *platform.Platform, profile *queueing.Curve, phases []Phase) (*AppProfile, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("profiler: no phases")
+	}
+	var totalW float64
+	for _, ph := range phases {
+		if ph.TimeWeight <= 0 {
+			return nil, fmt.Errorf("profiler: phase %q has non-positive weight", ph.Name)
+		}
+		totalW += ph.TimeWeight
+	}
+
+	app := &AppProfile{Platform: p.Name}
+	var avgBW, avgPF float64
+	anyRandom := false
+	for _, ph := range phases {
+		res, err := sim.Run(ph.Config)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: phase %q: %w", ph.Name, err)
+		}
+		rep, err := core.Analyze(p, profile, core.Measurement{
+			Routine:                ph.Name,
+			BandwidthGBs:           res.TotalGBs,
+			ActiveCores:            res.Cores,
+			ThreadsPerCore:         res.ThreadsPerCore,
+			PrefetchedReadFraction: res.PrefetchedReadFraction,
+			RandomAccess:           ph.RandomAccess,
+		})
+		if err != nil {
+			return nil, err
+		}
+		frac := ph.TimeWeight / totalW
+		app.Routines = append(app.Routines, RoutineProfile{
+			Name: ph.Name, TimeFrac: frac, Result: res, Report: rep,
+		})
+		avgBW += frac * res.TotalGBs
+		avgPF += frac * res.PrefetchedReadFraction
+		anyRandom = anyRandom || ph.RandomAccess
+	}
+
+	whole, err := core.Analyze(p, profile, core.Measurement{
+		Routine:                "whole-program",
+		BandwidthGBs:           avgBW,
+		PrefetchedReadFraction: avgPF,
+		RandomAccess:           anyRandom,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app.WholeProgram = whole
+	return app, nil
+}
+
+// Write renders a CrayPat-like text report.
+func (a *AppProfile) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Profile on %s (per-routine, then whole-program)\n", a.Platform); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-20s %7s %12s %10s %8s %10s", "Routine", "Time%", "BW GB/s", "lat ns", "n_avg", "limiter")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, r := range a.Routines {
+		if _, err := fmt.Fprintf(w, "%-20s %6.1f%% %12.1f %10.0f %8.2f %7s/%d\n",
+			r.Name, 100*r.TimeFrac, r.Report.BandwidthGBs, r.Report.LatencyNs,
+			r.Report.Occupancy, r.Report.Limiter, r.Report.LimiterCapacity); err != nil {
+			return err
+		}
+	}
+	wp := a.WholeProgram
+	_, err := fmt.Fprintf(w, "%-20s %6s %12.1f %10.0f %8.2f %7s/%d  (misleading average)\n",
+		"whole-program", "100%", wp.BandwidthGBs, wp.LatencyNs, wp.Occupancy, wp.Limiter, wp.LimiterCapacity)
+	return err
+}
+
+// WriteCounterReports appends per-routine vendor counter readouts (the
+// CrayPat-style raw view behind the derived table).
+func (a *AppProfile) WriteCounterReports(w io.Writer, p *platform.Platform) error {
+	model, err := counters.ModelFor(p.Name)
+	if err != nil {
+		return err
+	}
+	for _, r := range a.Routines {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", r.Name); err != nil {
+			return err
+		}
+		if err := counters.WriteReport(w, model, p, r.Result); err != nil {
+			return err
+		}
+	}
+	return nil
+}

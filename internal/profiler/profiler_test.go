@@ -1,0 +1,134 @@
+package profiler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"littleslaw/internal/cpu"
+	"littleslaw/internal/memsys"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/sim"
+)
+
+func sklCurve() *queueing.Curve {
+	return queueing.MustCurve([]queueing.CurvePoint{
+		{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 37.9, LatencyNs: 93},
+		{BandwidthGBs: 92.9, LatencyNs: 117}, {BandwidthGBs: 106.9, LatencyNs: 145},
+		{BandwidthGBs: 112, LatencyNs: 220},
+	})
+}
+
+// phaseConfig builds a small random-load phase with a given issue gap
+// (larger gap = lighter memory phase).
+func phaseConfig(p *platform.Platform, gap float64, window int) sim.Config {
+	return sim.Config{
+		Plat:   p,
+		Cores:  8,
+		Window: window,
+		NewGen: func(coreID, threadID int) cpu.Generator {
+			rng := rand.New(rand.NewSource(int64(coreID*31 + threadID)))
+			n := 1500
+			return cpu.GeneratorFunc(func() (cpu.Op, bool) {
+				if n <= 0 {
+					return cpu.Op{}, false
+				}
+				n--
+				return cpu.Op{
+					Addr:      uint64(coreID+1)<<34 + (rng.Uint64()&(1<<28-1))&^63,
+					Kind:      memsys.Load,
+					GapCycles: gap,
+					Work:      1,
+				}, true
+			})
+		},
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := platform.SKL()
+	if _, err := Profile(p, sklCurve(), nil); err == nil {
+		t.Fatal("no phases accepted")
+	}
+	if _, err := Profile(p, sklCurve(), []Phase{{Name: "x", TimeWeight: 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+// TestPerRoutineDiffersFromWholeProgram reproduces the §III-D warning: a
+// memory-hot routine plus a compute-light routine average into a profile
+// that looks moderate, hiding the hot routine's saturated MSHR file.
+func TestPerRoutineDiffersFromWholeProgram(t *testing.T) {
+	p := platform.SKL()
+	app, err := Profile(p, sklCurve(), []Phase{
+		{Name: "hot_sweep", Config: phaseConfig(p, 1, 12), TimeWeight: 0.4, RandomAccess: true},
+		{Name: "light_solver", Config: phaseConfig(p, 900, 2), TimeWeight: 0.6, RandomAccess: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Routines) != 2 {
+		t.Fatalf("routines = %d", len(app.Routines))
+	}
+	hot := app.Routines[0].Report
+	light := app.Routines[1].Report
+	whole := app.WholeProgram
+
+	if hot.Occupancy <= 2*light.Occupancy {
+		t.Fatalf("phases not contrasting enough: hot %.2f vs light %.2f", hot.Occupancy, light.Occupancy)
+	}
+	// The whole-program view sits between the two and, crucially, reports
+	// the hot routine's saturation away.
+	if !(whole.Occupancy < hot.Occupancy && whole.Occupancy > light.Occupancy) {
+		t.Fatalf("whole-program occupancy %.2f not between %.2f and %.2f",
+			whole.Occupancy, light.Occupancy, hot.Occupancy)
+	}
+	if hot.OccupancySaturated() && whole.OccupancySaturated() {
+		t.Fatal("whole-program view should hide the hot routine's saturation")
+	}
+	// Time fractions normalize.
+	if f := app.Routines[0].TimeFrac + app.Routines[1].TimeFrac; f < 0.999 || f > 1.001 {
+		t.Fatalf("time fractions sum to %v", f)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	p := platform.SKL()
+	app, err := Profile(p, sklCurve(), []Phase{
+		{Name: "alpha", Config: phaseConfig(p, 5, 8), TimeWeight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := app.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"alpha", "whole-program", "misleading", "n_avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCounterReports(t *testing.T) {
+	p := platform.SKL()
+	app, err := Profile(p, sklCurve(), []Phase{
+		{Name: "alpha", Config: phaseConfig(p, 5, 8), TimeWeight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := app.WriteCounterReports(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"-- alpha --", "Counter report", "OFFCORE_RESPONSE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counter report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package queueing provides the queueing-theory primitives behind the
+// Little's-Law MLP metric: the law itself, time-weighted occupancy
+// statistics for simulated queues, bandwidth→latency curves, and a
+// fixed-point solver for the closed core⇄memory system.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"littleslaw/internal/events"
+)
+
+// Concurrency applies Little's Law: the long-term average number of items
+// in a stationary system equals the arrival rate multiplied by the mean
+// residence time.
+//
+// ratePerSec is in items per second and residence in seconds.
+func Concurrency(ratePerSec, residenceSec float64) float64 {
+	return ratePerSec * residenceSec
+}
+
+// ConcurrencyFromBandwidth is Equation 2 of the paper: the average number of
+// outstanding cache-line requests implied by an observed bandwidth
+// (bytes/second), an observed loaded latency (seconds) and a line size.
+func ConcurrencyFromBandwidth(bandwidthBps, latencySec float64, lineSize int) float64 {
+	if lineSize <= 0 {
+		panic("queueing: line size must be positive")
+	}
+	return bandwidthBps * latencySec / float64(lineSize)
+}
+
+// BandwidthFromConcurrency inverts Equation 2: the bandwidth sustained by
+// n outstanding line requests each resident for latencySec.
+func BandwidthFromConcurrency(n, latencySec float64, lineSize int) float64 {
+	if latencySec <= 0 {
+		panic("queueing: latency must be positive")
+	}
+	return n * float64(lineSize) / latencySec
+}
+
+// OccupancyStat accumulates the time-weighted occupancy of a queue so that
+// its long-run average (the left side of Little's Law) can be reported
+// exactly rather than sampled.
+type OccupancyStat struct {
+	current   int
+	peak      int
+	integral  float64 // occupancy × picoseconds
+	last      events.Time
+	start     events.Time
+	started   bool
+	arrivals  uint64
+	totalWait float64 // summed residence in picoseconds, for Little cross-check
+}
+
+// Reset clears the statistic and restarts the observation window at now.
+func (o *OccupancyStat) Reset(now events.Time) {
+	cur := o.current
+	*o = OccupancyStat{current: cur, peak: cur, last: now, start: now, started: true}
+}
+
+// Set forces the current occupancy (used when attaching to a queue that is
+// already partially full).
+func (o *OccupancyStat) Set(now events.Time, n int) {
+	o.account(now)
+	o.current = n
+	if n > o.peak {
+		o.peak = n
+	}
+}
+
+// Arrive records one item entering the queue at time now.
+func (o *OccupancyStat) Arrive(now events.Time) {
+	o.account(now)
+	o.current++
+	o.arrivals++
+	if o.current > o.peak {
+		o.peak = o.current
+	}
+}
+
+// Depart records one item leaving the queue at time now after the given
+// residence time.
+func (o *OccupancyStat) Depart(now events.Time, residence events.Duration) {
+	o.account(now)
+	if o.current == 0 {
+		panic("queueing: departure from an empty queue")
+	}
+	o.current--
+	o.totalWait += float64(residence)
+}
+
+func (o *OccupancyStat) account(now events.Time) {
+	if !o.started {
+		o.start, o.last, o.started = now, now, true
+		return
+	}
+	if now < o.last {
+		panic("queueing: time moved backwards")
+	}
+	o.integral += float64(o.current) * float64(now-o.last)
+	o.last = now
+}
+
+// Current returns the instantaneous occupancy.
+func (o *OccupancyStat) Current() int { return o.current }
+
+// Peak returns the maximum occupancy observed.
+func (o *OccupancyStat) Peak() int { return o.peak }
+
+// Arrivals returns the number of Arrive calls since the last Reset.
+func (o *OccupancyStat) Arrivals() uint64 { return o.arrivals }
+
+// Mean returns the time-weighted mean occupancy over [start, now].
+func (o *OccupancyStat) Mean(now events.Time) float64 {
+	if !o.started || now <= o.start {
+		return float64(o.current)
+	}
+	integral := o.integral + float64(o.current)*float64(now-o.last)
+	return integral / float64(now-o.start)
+}
+
+// MeanResidence returns the average residence (in picoseconds) of departed
+// items, or 0 if nothing has departed.
+func (o *OccupancyStat) MeanResidence() float64 {
+	departed := float64(o.arrivals) - float64(o.current)
+	if departed <= 0 {
+		return 0
+	}
+	return o.totalWait / departed
+}
+
+// LittleResidual reports the relative difference between the time-weighted
+// mean occupancy and the Little's-Law prediction (arrival rate × mean
+// residence) over the observation window — a consistency check used by the
+// property tests. Returns 0 when the window is degenerate.
+func (o *OccupancyStat) LittleResidual(now events.Time) float64 {
+	window := float64(now - o.start)
+	if window <= 0 || o.arrivals == 0 {
+		return 0
+	}
+	mean := o.Mean(now)
+	rate := float64(o.arrivals) / window
+	pred := rate * o.MeanResidence()
+	if mean == 0 && pred == 0 {
+		return 0
+	}
+	denom := math.Max(mean, pred)
+	return math.Abs(mean-pred) / denom
+}
+
+// CurvePoint is one sample of a bandwidth→latency profile.
+type CurvePoint struct {
+	BandwidthGBs float64 // sustained bandwidth in GB/s (1e9 bytes/s)
+	LatencyNs    float64 // mean loaded latency in nanoseconds
+}
+
+// Curve is a monotone bandwidth→latency profile, the once-per-platform
+// artifact produced by the X-Mem-style characterization run. Lookups
+// interpolate linearly between samples; queries beyond the last sample
+// extrapolate along the final segment slope (saturation region).
+type Curve struct {
+	points []CurvePoint
+}
+
+// ErrEmptyCurve is returned when building or querying a curve with no points.
+var ErrEmptyCurve = errors.New("queueing: empty bandwidth-latency curve")
+
+// NewCurve builds a curve from samples. Samples are sorted by bandwidth;
+// duplicate bandwidths are averaged; latency is made non-decreasing (a
+// physical requirement — added load cannot reduce loaded latency) by taking
+// a running maximum, which also smooths measurement jitter.
+func NewCurve(pts []CurvePoint) (*Curve, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmptyCurve
+	}
+	cp := make([]CurvePoint, len(pts))
+	copy(cp, pts)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].BandwidthGBs < cp[j].BandwidthGBs })
+	out := cp[:0]
+	for _, p := range cp {
+		if p.BandwidthGBs < 0 || p.LatencyNs <= 0 || math.IsNaN(p.LatencyNs) || math.IsInf(p.LatencyNs, 0) {
+			return nil, fmt.Errorf("queueing: invalid curve point %+v", p)
+		}
+		if n := len(out); n > 0 && out[n-1].BandwidthGBs == p.BandwidthGBs {
+			out[n-1].LatencyNs = (out[n-1].LatencyNs + p.LatencyNs) / 2
+			continue
+		}
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].LatencyNs < out[i-1].LatencyNs {
+			out[i].LatencyNs = out[i-1].LatencyNs
+		}
+	}
+	return &Curve{points: out}, nil
+}
+
+// MustCurve is NewCurve that panics on error, for static tables.
+func MustCurve(pts []CurvePoint) *Curve {
+	c, err := NewCurve(pts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Points returns a copy of the curve samples.
+func (c *Curve) Points() []CurvePoint {
+	out := make([]CurvePoint, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// IdleLatencyNs returns the latency of the lowest-bandwidth sample — the
+// closest observable stand-in for the unloaded latency.
+func (c *Curve) IdleLatencyNs() float64 { return c.points[0].LatencyNs }
+
+// MaxBandwidthGBs returns the highest bandwidth at which the curve was
+// sampled (the achievable, not theoretical, peak).
+func (c *Curve) MaxBandwidthGBs() float64 { return c.points[len(c.points)-1].BandwidthGBs }
+
+// LatencyAt returns the interpolated loaded latency (ns) at the given
+// bandwidth (GB/s). Below the first sample it returns the idle latency;
+// at or beyond the last sample it returns the last sampled latency — the
+// characterization cannot observe past the achievable peak, and the
+// near-vertical final segment would otherwise explode Equation 2 for
+// routines running right at that peak.
+func (c *Curve) LatencyAt(bwGBs float64) float64 {
+	pts := c.points
+	if bwGBs <= pts[0].BandwidthGBs {
+		return pts[0].LatencyNs
+	}
+	last := pts[len(pts)-1]
+	if bwGBs >= last.BandwidthGBs {
+		return last.LatencyNs
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].BandwidthGBs >= bwGBs })
+	lo, hi := pts[i-1], pts[i]
+	f := (bwGBs - lo.BandwidthGBs) / (hi.BandwidthGBs - lo.BandwidthGBs)
+	return lo.LatencyNs + f*(hi.LatencyNs-lo.LatencyNs)
+}
+
+// SolveEquilibrium finds the self-consistent operating point of a closed
+// system in which n outstanding line requests of lineSize bytes circulate
+// against a memory whose loaded latency follows the curve:
+//
+//	BW = n × lineSize / lat(BW)
+//
+// It returns the equilibrium bandwidth (GB/s) and latency (ns). Because
+// lat(BW) is non-decreasing, the residual n×lineSize/lat(BW) − BW is
+// strictly decreasing in BW, so bisection always converges.
+func (c *Curve) SolveEquilibrium(n float64, lineSize int) (bwGBs, latNs float64) {
+	if n <= 0 {
+		return 0, c.IdleLatencyNs()
+	}
+	demand := func(bw float64) float64 { return n * float64(lineSize) / c.LatencyAt(bw) }
+	lo, hi := 0.0, demand(0) // at bw=0 latency is idle, so demand(0) is the supremum
+	for i := 0; i < 200 && hi-lo > 1e-10*math.Max(1, hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if demand(mid) > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	bw := 0.5 * (lo + hi)
+	return bw, c.LatencyAt(bw)
+}
+
+// MM1Wait returns the expected M/M/1 waiting time (same units as service)
+// at the given utilization. Utilization ≥ 1 returns +Inf. Used by the
+// analytic model and in tests as a sanity reference.
+func MM1Wait(service, utilization float64) float64 {
+	if utilization >= 1 {
+		return math.Inf(1)
+	}
+	if utilization < 0 {
+		panic("queueing: negative utilization")
+	}
+	return service * utilization / (1 - utilization)
+}
+
+// MDCWaitApprox returns an approximate M/D/c waiting time using the
+// Allen–Cunneen approximation with zero service-time variability.
+func MDCWaitApprox(service, utilization float64, servers int) float64 {
+	if servers <= 0 {
+		panic("queueing: servers must be positive")
+	}
+	if utilization >= 1 {
+		return math.Inf(1)
+	}
+	// Allen–Cunneen: Wq ≈ (C²a+C²s)/2 × ρ^(√(2(c+1)))/ (c(1-ρ)) × service.
+	// Deterministic service: C²s = 0; Poisson arrivals: C²a = 1.
+	c := float64(servers)
+	rho := utilization
+	return 0.5 * math.Pow(rho, math.Sqrt(2*(c+1))) / (c * (1 - rho)) * service
+}

@@ -1,0 +1,65 @@
+// Package report renders regenerated paper artifacts as text tables and
+// CSV series.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"littleslaw/internal/experiments"
+)
+
+// WriteTable renders a regenerated table in the layout of the paper's
+// Tables IV–IX, with the paper's published values alongside for
+// comparison.
+func WriteTable(w io.Writer, t *experiments.Table) error {
+	if _, err := fmt.Fprintf(w, "TABLE %s — %s (%s)\n", t.ID, t.Workload, t.Routine); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-6s %-22s %18s %14s %14s %-30s %s",
+		"Proc", "Source", "BW GB/s (%peak)", "lat_avg (ns)", "n_avg", "Opt: speedup [recipe]", "paper: BW/n/speedup")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		opt := "-"
+		if r.NextOpt != "" {
+			opt = fmt.Sprintf("%s: %.2fx [%s]", r.NextOpt, r.Speedup, r.Stance)
+		}
+		paper := "-"
+		if r.PaperBW > 0 {
+			paper = fmt.Sprintf("%.1f/%.2f", r.PaperBW, r.PaperOcc)
+			if r.PaperSpeedup > 0 {
+				paper += fmt.Sprintf("/%.2fx", r.PaperSpeedup)
+			}
+		}
+		_, err := fmt.Fprintf(w, "%-6s %-22s %10.1f (%3.0f%%) %14.0f %14.2f %-30s %s\n",
+			r.Platform, r.Source, r.BWGBs, r.PeakPct, r.LatNs, r.Occ, opt, paper)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteTableCSV emits the rows as CSV.
+func WriteTableCSV(w io.Writer, t *experiments.Table) error {
+	if _, err := fmt.Fprintln(w, "table,platform,source,bw_gbs,peak_pct,lat_ns,n_avg,true_l1,true_l2,next_opt,stance,speedup,paper_bw,paper_occ,paper_speedup"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%.2f,%.1f,%.1f,%.3f,%.3f,%.3f,%s,%s,%.3f,%.2f,%.2f,%.2f\n",
+			t.ID, r.Platform, r.Source, r.BWGBs, r.PeakPct, r.LatNs, r.Occ,
+			r.TrueL1Occ, r.TrueL2Occ, r.NextOpt, r.Stance, r.Speedup,
+			r.PaperBW, r.PaperOcc, r.PaperSpeedup)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

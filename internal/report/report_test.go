@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"littleslaw/internal/core"
+	"littleslaw/internal/experiments"
+)
+
+func sampleTable() *experiments.Table {
+	return &experiments.Table{
+		ID:       "IV",
+		Workload: "ISx",
+		Routine:  "count_local_keys",
+		Rows: []experiments.Row{
+			{
+				Platform: "SKL", Source: "base", Threads: 1,
+				BWGBs: 108.4, PeakPct: 85, LatNs: 146, Occ: 10.3,
+				TrueL1Occ: 9.9, TrueL2Occ: 10.1,
+				NextOpt: "vectorization", Stance: core.Discourage, Speedup: 1.0,
+				PaperBW: 106.9, PaperOcc: 10.1, PaperSpeedup: 1.0,
+			},
+			{
+				Platform: "A64FX", Source: "+ l2-pref", Threads: 1,
+				BWGBs: 746, PeakPct: 73, LatNs: 269, Occ: 16.4,
+				PaperBW: 788, PaperOcc: 17.95,
+			},
+		},
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTable(&sb, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"TABLE IV — ISx (count_local_keys)",
+		"vectorization: 1.00x [discourage]",
+		"106.9/10.10/1.00x",
+		"788.0/17.95", // final row echoes paper values without speedup
+		"base",
+		"+ l2-pref",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Final rows print "-" for the optimization column.
+	if !strings.Contains(out, " - ") && !strings.Contains(out, "-  ") {
+		t.Errorf("final row marker missing:\n%s", out)
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTableCSV(&sb, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "table,platform,source,bw_gbs") {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "IV,SKL,base,108.40") {
+		t.Fatalf("CSV row wrong: %s", lines[1])
+	}
+	// Every row has the same number of fields as the header.
+	nf := len(strings.Split(lines[0], ","))
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, ",")) != nf {
+			t.Fatalf("CSV row field count mismatch: %s", l)
+		}
+	}
+}

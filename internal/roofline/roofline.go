@@ -1,0 +1,163 @@
+// Package roofline implements the roofline model (Williams et al., CACM
+// 2009) extended with the paper's contribution to it (§IV-A, Figure 2): an
+// additional bandwidth ceiling imposed by the MSHR file that binds the
+// routine. For a random-access routine the L1 MSHR file caps the node's
+// usable bandwidth at
+//
+//	cores × L1MSHRs × lineSize / loadedLatency
+//
+// well below the DRAM roof — which is why ISx on KNL hits a ceiling at
+// ~256 GB/s that the classic model cannot explain, and why L2 software
+// prefetching (moving the in-flight window to the larger L2 file) breaks
+// through it.
+package roofline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// Ceiling is one bandwidth roof in GB/s with its provenance.
+type Ceiling struct {
+	Name         string
+	BandwidthGBs float64
+}
+
+// Point is a measured application point on the plot.
+type Point struct {
+	Name      string
+	Intensity float64 // FLOPs per byte of memory traffic
+	GFLOPs    float64 // achieved performance
+}
+
+// Model is a roofline chart for one platform.
+type Model struct {
+	Platform   string
+	PeakGFLOPs float64
+	Ceilings   []Ceiling // sorted descending; index 0 is the DRAM roof
+	Points     []Point
+}
+
+// PeakGFLOPs computes the platform's peak double-precision rate:
+// cores × frequency × vector lanes × 2 FMA units × 2 flops.
+func PeakGFLOPs(p *platform.Platform) float64 {
+	return float64(p.Cores) * p.FreqHz * float64(p.VectorLanes64) * 2 * 2 / 1e9
+}
+
+// MSHRCeiling returns the bandwidth ceiling imposed by an MSHR file of the
+// given per-core capacity at the given loaded latency.
+func MSHRCeiling(p *platform.Platform, mshrs int, loadedLatencyNs float64) float64 {
+	if loadedLatencyNs <= 0 {
+		return 0
+	}
+	return float64(p.Cores) * float64(mshrs) * float64(p.LineBytes) / loadedLatencyNs
+}
+
+// New builds the Figure-2 model for a platform: the DRAM roof plus the L1
+// and L2 MSHR ceilings evaluated at the loaded latency from the measured
+// profile (self-consistently: each ceiling is evaluated at the latency the
+// curve reports for that ceiling's bandwidth).
+func New(p *platform.Platform, profile *queueing.Curve) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if profile == nil {
+		return nil, fmt.Errorf("roofline: nil profile")
+	}
+	m := &Model{Platform: p.Name, PeakGFLOPs: PeakGFLOPs(p)}
+	m.Ceilings = append(m.Ceilings, Ceiling{Name: "DRAM peak", BandwidthGBs: p.PeakGBs()})
+
+	for _, c := range []struct {
+		name  string
+		mshrs int
+	}{
+		{"L2 MSHRs", p.L2.MSHRs},
+		{"L1 MSHRs", p.L1.MSHRs},
+	} {
+		// Fixed point: BW = cores×mshrs×cls/lat(BW).
+		n := float64(p.Cores * c.mshrs)
+		bw, _ := profile.SolveEquilibrium(n, p.LineBytes)
+		if bw > p.PeakGBs() {
+			bw = p.PeakGBs()
+		}
+		m.Ceilings = append(m.Ceilings, Ceiling{Name: c.name, BandwidthGBs: bw})
+	}
+	sort.Slice(m.Ceilings, func(i, j int) bool {
+		return m.Ceilings[i].BandwidthGBs > m.Ceilings[j].BandwidthGBs
+	})
+	return m, nil
+}
+
+// AddPoint places a measured application on the chart.
+func (m *Model) AddPoint(name string, bwGBs, gflops float64) {
+	if bwGBs <= 0 {
+		return
+	}
+	m.Points = append(m.Points, Point{
+		Name:      name,
+		Intensity: gflops / bwGBs,
+		GFLOPs:    gflops,
+	})
+}
+
+// AttainableGFLOPs evaluates a roof at an arithmetic intensity: the
+// classic min(peak, ceiling×intensity).
+func (m *Model) AttainableGFLOPs(ceiling Ceiling, intensity float64) float64 {
+	v := ceiling.BandwidthGBs * intensity
+	if v > m.PeakGFLOPs {
+		return m.PeakGFLOPs
+	}
+	return v
+}
+
+// BindingCeiling returns the lowest ceiling at or above the point's
+// bandwidth — the roof the application is actually pressed against.
+func (m *Model) BindingCeiling(bwGBs float64) Ceiling {
+	best := m.Ceilings[0]
+	for _, c := range m.Ceilings {
+		if c.BandwidthGBs >= bwGBs && c.BandwidthGBs <= best.BandwidthGBs {
+			best = c
+		}
+	}
+	return best
+}
+
+// WriteCSV emits the roofline series (one column per ceiling) over a
+// log-spaced intensity range, followed by the points — the data behind
+// Figure 2.
+func (m *Model) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "intensity"); err != nil {
+		return err
+	}
+	for _, c := range m.Ceilings {
+		if _, err := fmt.Fprintf(w, ",%s", c.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, ",peak"); err != nil {
+		return err
+	}
+	for x := 0.0625; x <= 1024; x *= 2 {
+		if _, err := fmt.Fprintf(w, "%g", x); err != nil {
+			return err
+		}
+		for _, c := range m.Ceilings {
+			if _, err := fmt.Fprintf(w, ",%.2f", m.AttainableGFLOPs(c, x)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, ",%.2f\n", m.PeakGFLOPs); err != nil {
+			return err
+		}
+	}
+	for _, pt := range m.Points {
+		if _, err := fmt.Fprintf(w, "# point %s: intensity=%.4f gflops=%.2f\n", pt.Name, pt.Intensity, pt.GFLOPs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

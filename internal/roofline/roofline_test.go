@@ -1,0 +1,139 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// knlProfile is the KNL loaded-latency curve from the paper's published
+// values, so the Figure-2 ceilings can be checked against the figure.
+func knlProfile() *queueing.Curve {
+	return queueing.MustCurve([]queueing.CurvePoint{
+		{BandwidthGBs: 1, LatencyNs: 166}, {BandwidthGBs: 122.9, LatencyNs: 167},
+		{BandwidthGBs: 233, LatencyNs: 180}, {BandwidthGBs: 253, LatencyNs: 187},
+		{BandwidthGBs: 296, LatencyNs: 209}, {BandwidthGBs: 344, LatencyNs: 238},
+		{BandwidthGBs: 360, LatencyNs: 300},
+	})
+}
+
+func TestPeakGFLOPs(t *testing.T) {
+	// Figure 2's horizontal roof: 2867 GFLOP/s on KNL.
+	got := PeakGFLOPs(platform.KNL())
+	if math.Abs(got-2867.2) > 1 {
+		t.Fatalf("KNL peak = %.1f GFLOP/s, want 2867 (paper Fig. 2)", got)
+	}
+	// SKL: 24 × 2.1G × 8 lanes × 2 FMA × 2 = 1612.8.
+	if got := PeakGFLOPs(platform.SKL()); math.Abs(got-1612.8) > 1 {
+		t.Fatalf("SKL peak = %.1f", got)
+	}
+}
+
+func TestKNLL1MSHRCeilingNearPaperFigure(t *testing.T) {
+	// Figure 2 draws the L1-MSHR ceiling at 256 GB/s (y-intercept 8):
+	// 64 cores × 12 MSHRs × 64 B / ~192 ns.
+	m, err := New(platform.KNL(), knlProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1 Ceiling
+	for _, c := range m.Ceilings {
+		if c.Name == "L1 MSHRs" {
+			l1 = c
+		}
+	}
+	if l1.Name == "" {
+		t.Fatal("no L1 MSHR ceiling")
+	}
+	if l1.BandwidthGBs < 230 || l1.BandwidthGBs > 285 {
+		t.Fatalf("L1 MSHR ceiling = %.1f GB/s, paper draws 256", l1.BandwidthGBs)
+	}
+	// Ceilings are ordered: DRAM ≥ L2-MSHR ≥ L1-MSHR.
+	for i := 1; i < len(m.Ceilings); i++ {
+		if m.Ceilings[i].BandwidthGBs > m.Ceilings[i-1].BandwidthGBs {
+			t.Fatalf("ceilings not descending: %+v", m.Ceilings)
+		}
+	}
+}
+
+func TestBaselineVsOptimizedPoints(t *testing.T) {
+	// The Figure-2 narrative: baseline ISx (O) sits essentially at the
+	// L1-MSHR ceiling; the prefetched version (O1) breaks through it and
+	// presses toward the L2/DRAM roof.
+	m, err := New(platform.KNL(), knlProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.BindingCeiling(233)
+	if base.Name != "L1 MSHRs" {
+		t.Fatalf("baseline at 233 GB/s binds on %q, want the L1 MSHR ceiling", base.Name)
+	}
+	opt := m.BindingCeiling(344)
+	if opt.Name == "L1 MSHRs" {
+		t.Fatal("optimized point still reported under the L1 ceiling")
+	}
+}
+
+func TestAttainableGFLOPs(t *testing.T) {
+	m, err := New(platform.KNL(), knlProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roof := m.Ceilings[0]
+	// Low intensity: bandwidth-limited slope.
+	if got := m.AttainableGFLOPs(roof, 0.25); math.Abs(got-roof.BandwidthGBs*0.25) > 1e-9 {
+		t.Fatalf("slope region = %v", got)
+	}
+	// High intensity: flat at peak.
+	if got := m.AttainableGFLOPs(roof, 1e6); got != m.PeakGFLOPs {
+		t.Fatalf("peak region = %v, want %v", got, m.PeakGFLOPs)
+	}
+}
+
+func TestMSHRCeilingFormula(t *testing.T) {
+	p := platform.KNL()
+	// 64 × 12 × 64 / 192 ns = 256 GB/s.
+	if got := MSHRCeiling(p, 12, 192); math.Abs(got-256) > 0.5 {
+		t.Fatalf("MSHRCeiling = %.1f, want 256", got)
+	}
+	if MSHRCeiling(p, 12, 0) != 0 {
+		t.Fatal("zero latency must yield zero ceiling")
+	}
+}
+
+func TestAddPointAndCSV(t *testing.T) {
+	m, err := New(platform.KNL(), knlProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddPoint("O (base)", 233, 20)
+	m.AddPoint("O1 (optimized)", 344, 29)
+	m.AddPoint("ignored", 0, 5) // zero bandwidth is dropped
+	if len(m.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(m.Points))
+	}
+	var sb strings.Builder
+	if err := m.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"intensity", "L1 MSHRs", "DRAM peak", "# point O (base)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(platform.KNL(), nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	bad := platform.KNL()
+	bad.Cores = 0
+	if _, err := New(bad, knlProfile()); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}

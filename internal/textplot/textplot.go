@@ -1,0 +1,174 @@
+// Package textplot renders small line charts as text, so the tools can
+// show bandwidth→latency profiles and rooflines directly in a terminal
+// without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Options controls rendering.
+type Options struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	LogX   bool
+	LogY   bool
+	XLabel string
+	YLabel string
+	Title  string
+}
+
+func (o *Options) normalize() {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+}
+
+// defaultMarkers cycle when a series has none.
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series into a string.
+func Render(series []Series, opts Options) (string, error) {
+	opts.normalize()
+	if len(series) == 0 {
+		return "", fmt.Errorf("textplot: no series")
+	}
+
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if opts.LogX {
+		tx = math.Log10
+	}
+	if opts.LogY {
+		ty = math.Log10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("textplot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if (opts.LogX && x <= 0) || (opts.LogY && y <= 0) {
+				return "", fmt.Errorf("textplot: non-positive value on a log axis in %q", s.Name)
+			}
+			minX, maxX = math.Min(minX, tx(x)), math.Max(maxX, tx(x))
+			minY, maxY = math.Min(minY, ty(y)), math.Max(maxY, ty(y))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "", fmt.Errorf("textplot: all series empty")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		var prevC, prevR int = -1, -1
+		for i := range s.X {
+			c := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(opts.Width-1))
+			r := opts.Height - 1 - int((ty(s.Y[i])-minY)/(maxY-minY)*float64(opts.Height-1))
+			plot(grid, r, c, marker)
+			// Connect consecutive points with a coarse line.
+			if prevC >= 0 {
+				steps := maxInt(absInt(c-prevC), absInt(r-prevR))
+				for k := 1; k < steps; k++ {
+					ic := prevC + (c-prevC)*k/steps
+					ir := prevR + (r-prevR)*k/steps
+					if grid[ir][ic] == ' ' {
+						plot(grid, ir, ic, '.')
+					}
+				}
+			}
+			prevC, prevR = c, r
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	invY := func(frac float64) float64 {
+		v := minY + frac*(maxY-minY)
+		if opts.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		frac := float64(opts.Height-1-i) / float64(opts.Height-1)
+		fmt.Fprintf(&sb, "%10.4g |%s\n", invY(frac), string(row))
+	}
+	sb.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", opts.Width) + "\n")
+	invX := func(frac float64) float64 {
+		v := minX + frac*(maxX-minX)
+		if opts.LogX {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&sb, "%12.4g%s%.4g", invX(0), strings.Repeat(" ", maxInt(1, opts.Width-12)), invX(1))
+	if opts.XLabel != "" {
+		fmt.Fprintf(&sb, "  (%s)", opts.XLabel)
+	}
+	sb.WriteByte('\n')
+	var legend []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	fmt.Fprintf(&sb, "legend: %s", strings.Join(legend, " | "))
+	if opts.YLabel != "" {
+		fmt.Fprintf(&sb, "   [y: %s]", opts.YLabel)
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}
+
+func plot(grid [][]byte, r, c int, m byte) {
+	if r >= 0 && r < len(grid) && c >= 0 && c < len(grid[r]) {
+		grid[r][c] = m
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

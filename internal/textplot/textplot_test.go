@@ -1,0 +1,81 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if _, err := Render([]Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}, Options{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Render([]Series{{Name: "neg", X: []float64{0}, Y: []float64{1}}}, Options{LogX: true}); err == nil {
+		t.Fatal("zero on log axis accepted")
+	}
+	if _, err := Render([]Series{{Name: "empty"}}, Options{}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestRenderBasicChart(t *testing.T) {
+	s := []Series{
+		{Name: "latency", X: []float64{0, 50, 100, 110}, Y: []float64{82, 95, 140, 200}},
+		{Name: "anchor", X: []float64{106.9}, Y: []float64{145}, Marker: 'A'},
+	}
+	out, err := Render(s, Options{Title: "SKL profile", XLabel: "GB/s", YLabel: "ns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SKL profile", "legend: * latency | A anchor", "GB/s", "[y: ns]", "A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The chart body has the requested height (+title, axis, labels, legend).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+20+1+1+1 {
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	s := []Series{{
+		Name: "roof",
+		X:    []float64{0.0625, 1, 16, 256},
+		Y:    []float64{25, 400, 2867, 2867},
+	}}
+	out, err := Render(s, Options{LogX: true, LogY: true, Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.0625") {
+		t.Errorf("x-axis minimum missing:\n%s", out)
+	}
+}
+
+func TestDegenerateRangesHandled(t *testing.T) {
+	// A single point and a flat line must not divide by zero.
+	for _, s := range [][]Series{
+		{{Name: "pt", X: []float64{5}, Y: []float64{7}}},
+		{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}}},
+	} {
+		if _, err := Render(s, Options{Width: 20, Height: 5}); err != nil {
+			t.Fatalf("degenerate input failed: %v", err)
+		}
+	}
+}
+
+func TestLineConnection(t *testing.T) {
+	// Two distant points should be connected by '.' fill.
+	out, err := Render([]Series{{Name: "l", X: []float64{0, 100}, Y: []float64{0, 100}}},
+		Options{Width: 30, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("no connecting fill:\n%s", out)
+	}
+}

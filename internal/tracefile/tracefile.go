@@ -1,0 +1,189 @@
+// Package tracefile defines a compact binary format for memory-operation
+// traces and adapters between traces and the simulator: any workload model
+// can be recorded to a file, and any recorded file — including traces of
+// real applications converted into this format — can be replayed through
+// the simulated node and analyzed with the Little's-Law pipeline.
+//
+// Format (little-endian):
+//
+//	magic   [8]byte  "LLTRACE1"
+//	line    uint32   cache-line size the addresses assume
+//	reserved uint32
+//	records:
+//	  kind  uint8    (memsys.Kind)
+//	  flags uint8    bit0 = barrier, bit1 = async
+//	  gap   uint16   compute gap in 1/16 cycles (saturating)
+//	  work  uint16   work units ×256 (saturating)
+//	  addr  uint64   byte address
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"littleslaw/internal/cpu"
+	"littleslaw/internal/memsys"
+)
+
+var magic = [8]byte{'L', 'L', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const recordSize = 1 + 1 + 2 + 2 + 8
+
+// Header describes a trace stream.
+type Header struct {
+	LineBytes int
+}
+
+// Writer streams operations to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	count int
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if h.LineBytes <= 0 || h.LineBytes&(h.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("tracefile: line size must be a positive power of two")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(h.LineBytes))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one operation.
+func (t *Writer) Write(op cpu.Op) error {
+	var rec [recordSize]byte
+	rec[0] = byte(op.Kind)
+	var flags byte
+	if op.Barrier {
+		flags |= 1
+	}
+	if op.Async {
+		flags |= 2
+	}
+	rec[1] = flags
+	binary.LittleEndian.PutUint16(rec[2:], saturate16(op.GapCycles*16))
+	binary.LittleEndian.PutUint16(rec[4:], saturate16(op.Work*256))
+	binary.LittleEndian.PutUint64(rec[6:], op.Addr)
+	if _, err := t.w.Write(rec[:]); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+func saturate16(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v + 0.5)
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() int { return t.count }
+
+// Flush flushes buffered records.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader streams operations from a trace file.
+type Reader struct {
+	r      *bufio.Reader
+	Header Header
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("tracefile: not a trace file (magic %q)", m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading header: %w", err)
+	}
+	line := int(binary.LittleEndian.Uint32(hdr[0:]))
+	if line <= 0 || line&(line-1) != 0 {
+		return nil, fmt.Errorf("tracefile: invalid line size %d", line)
+	}
+	return &Reader{r: br, Header: Header{LineBytes: line}}, nil
+}
+
+// Read returns the next operation; io.EOF at the end.
+func (t *Reader) Read() (cpu.Op, error) {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return cpu.Op{}, fmt.Errorf("tracefile: truncated record: %w", err)
+		}
+		return cpu.Op{}, err
+	}
+	op := cpu.Op{
+		Kind:      memsys.Kind(rec[0]),
+		Barrier:   rec[1]&1 != 0,
+		Async:     rec[1]&2 != 0,
+		GapCycles: float64(binary.LittleEndian.Uint16(rec[2:])) / 16,
+		Work:      float64(binary.LittleEndian.Uint16(rec[4:])) / 256,
+		Addr:      binary.LittleEndian.Uint64(rec[6:]),
+	}
+	return op, nil
+}
+
+// Generator adapts the reader to cpu.Generator; read errors terminate the
+// stream (and are reported via Err).
+type Generator struct {
+	r   *Reader
+	err error
+}
+
+// NewGenerator wraps a Reader.
+func NewGenerator(r *Reader) *Generator { return &Generator{r: r} }
+
+// Next implements cpu.Generator.
+func (g *Generator) Next() (cpu.Op, bool) {
+	if g.err != nil {
+		return cpu.Op{}, false
+	}
+	op, err := g.r.Read()
+	if err != nil {
+		if err != io.EOF {
+			g.err = err
+		}
+		return cpu.Op{}, false
+	}
+	return op, true
+}
+
+// Err reports a non-EOF read failure, if any.
+func (g *Generator) Err() error { return g.err }
+
+// Record drains a generator into a writer, returning the record count.
+func Record(w *Writer, gen cpu.Generator, maxOps int) (int, error) {
+	n := 0
+	for maxOps <= 0 || n < maxOps {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(op); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, w.Flush()
+}

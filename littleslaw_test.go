@@ -1,0 +1,102 @@
+package littleslaw
+
+import (
+	"strings"
+	"testing"
+
+	"littleslaw/internal/queueing"
+)
+
+func testCurve() *Curve {
+	return queueing.MustCurve([]queueing.CurvePoint{
+		{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 106.9, LatencyNs: 145},
+		{BandwidthGBs: 112, LatencyNs: 220},
+	})
+}
+
+func TestFacadeLookups(t *testing.T) {
+	if _, err := Platform("SKL"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Platform("M1"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if len(Platforms()) != 3 {
+		t.Fatal("want 3 platforms")
+	}
+	if _, err := Workload("ISx"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Workload("LINPACK"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if len(Workloads()) != 6 {
+		t.Fatal("want 6 workloads")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := Platform("SKL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Workload("ISx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, p, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(p, testCurve(), MeasurementFrom(w, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Occupancy <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	adv := Advise(rep, w.Capabilities(p, 1))
+	if len(adv) == 0 {
+		t.Fatal("no advice")
+	}
+	if s := Explain(rep); !strings.Contains(s, "count_local_keys") {
+		t.Fatalf("explanation missing routine: %s", s)
+	}
+	m, err := Roofline(p, testCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ceilings) < 3 {
+		t.Fatalf("roofline ceilings = %d", len(m.Ceilings))
+	}
+}
+
+func TestStanceConstants(t *testing.T) {
+	if Recommend.String() != "recommend" || Discourage.String() != "discourage" || Neutral.String() != "neutral" {
+		t.Fatal("stance re-exports broken")
+	}
+}
+
+func TestFacadeClassify(t *testing.T) {
+	p, _ := Platform("SKL")
+	w, _ := Workload("PENNANT")
+	prof, err := ClassifyAccesses(p.LineBytes, w.Config(p, 1, 0.05).NewGen(0, 0), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.RandomAccess() {
+		t.Fatalf("PENNANT classified as streaming: %s", prof)
+	}
+}
+
+func TestFacadeTune(t *testing.T) {
+	p, _ := Platform("SKL")
+	w, _ := Workload("CoMD")
+	res, err := Tune(p, testCurve(), w, TuneOptions{Scale: 0.05, Cores: 6, MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "CoMD" || len(res.Steps) == 0 {
+		t.Fatalf("tune result: %+v", res)
+	}
+}
