@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages whose tests exercise the concurrent engine; the -race job keeps
+# the determinism/race-cleanliness guarantees honest without paying for a
+# race-instrumented full-scale table regeneration (the experiments and
+# autotune packages only race-run their determinism tests for that reason).
+RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+	$(GO) test -race -run 'Determin' ./internal/experiments/ ./internal/autotune/
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# check is the tier-1 gate plus the race job.
+check: vet build test race

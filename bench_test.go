@@ -51,11 +51,17 @@ func benchProfiles(p *platform.Platform) (*queueing.Curve, error) {
 
 func benchTable(b *testing.B, id, plat string, scale float64) {
 	b.Helper()
+	benchTableWorkers(b, id, plat, scale, 1)
+}
+
+func benchTableWorkers(b *testing.B, id, plat string, scale float64, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(experiments.Options{
 			Scale:      scale,
 			Platforms:  []string{plat},
 			ProfileFor: benchProfiles,
+			Workers:    workers,
 		})
 		t, err := r.Table(id)
 		if err != nil {
@@ -70,6 +76,42 @@ func benchTable(b *testing.B, id, plat string, scale float64) {
 // BenchmarkTableIV regenerates the ISx ladder (Table IV, KNL column: the
 // base→vect→2HT→4HT→L2-prefetch sequence).
 func BenchmarkTableIV(b *testing.B) { benchTable(b, "IV", "KNL", 0.1) }
+
+// BenchmarkTableIV_Serial pins the table's distinct runs to one worker —
+// the baseline for the parallel engine's speedup claim.
+func BenchmarkTableIV_Serial(b *testing.B) { benchTableWorkers(b, "IV", "KNL", 0.1, 1) }
+
+// BenchmarkTableIV_Parallel dispatches the table's distinct runs across
+// GOMAXPROCS workers; the output is byte-identical to the serial run
+// (compare against BenchmarkTableIV_Serial on a multi-core host).
+func BenchmarkTableIV_Parallel(b *testing.B) { benchTableWorkers(b, "IV", "KNL", 0.1, 0) }
+
+// BenchmarkAllTables_Serial regenerates all six tables' KNL/SKL/A64FX-free
+// subset serially — see BenchmarkAllTables_Parallel.
+func BenchmarkAllTables_Serial(b *testing.B) { benchAllTables(b, 1) }
+
+// BenchmarkAllTables_Parallel regenerates every table with all distinct
+// simulations across the six tables sharing one worker-pool dispatch.
+func BenchmarkAllTables_Parallel(b *testing.B) { benchAllTables(b, 0) }
+
+func benchAllTables(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Options{
+			Scale:      0.05,
+			Platforms:  []string{"KNL"},
+			ProfileFor: benchProfiles,
+			Workers:    workers,
+		})
+		ts, err := r.AllTables()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts) != 6 {
+			b.Fatalf("got %d tables", len(ts))
+		}
+	}
+}
 
 // BenchmarkTableV regenerates the HPCG ladder (Table V, KNL column).
 func BenchmarkTableV(b *testing.B) { benchTable(b, "V", "KNL", 0.1) }

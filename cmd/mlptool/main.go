@@ -10,12 +10,15 @@
 //	mlptool -platform SKL -workload MiniGhost -tiled
 //	mlptool -platform SKL -workload SNAP -explain       # recipe narration only
 //	mlptool -profile prof.json ...                      # reuse a saved X-Mem profile
+//	mlptool -autotune -workers 8 -timeout 5m ...        # concurrent candidate evaluation
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"littleslaw/internal/access"
@@ -42,7 +45,16 @@ func main() {
 	explainOnly := flag.Bool("explain", false, "print only the recipe narration")
 	tune := flag.Bool("autotune", false, "run the Figure-1 loop to a fixed point instead of a single analysis")
 	classifyPattern := flag.Bool("classify", false, "derive the random-vs-streaming classification from the access stream instead of the workload's own flag")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations for -autotune and characterization (1 = serial; results are identical)")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mlptool:", err)
@@ -84,7 +96,7 @@ func main() {
 		}
 	} else {
 		fmt.Fprintf(os.Stderr, "mlptool: characterizing %s (once per platform; save with xmemprof)...\n", p.Name)
-		curve, err = xmem.ProfileFor(p)
+		curve, err = xmem.ProfileForContext(ctx, p)
 		if err != nil {
 			fail(err)
 		}
@@ -92,7 +104,7 @@ func main() {
 
 	if *tune {
 		fmt.Fprintf(os.Stderr, "mlptool: autotuning %s on %s (the Figure-1 loop)...\n", w.Name(), p.Name)
-		res, err := autotune.Tune(p, curve, w, autotune.Options{Scale: *scale, UserIntuition: true})
+		res, err := autotune.TuneContext(ctx, p, curve, w, autotune.Options{Scale: *scale, UserIntuition: true, Workers: *workers})
 		if err != nil {
 			fail(err)
 		}
@@ -113,7 +125,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "mlptool: running %s/%s (%s) on the %d-core node...\n",
 		w.Name(), w.Routine(), w.Variant().Label(*threads), p.Cores)
-	res, err := sim.Run(w.Config(p, *threads, *scale))
+	res, err := sim.RunContext(ctx, w.Config(p, *threads, *scale))
 	if err != nil {
 		fail(err)
 	}

@@ -12,12 +12,16 @@
 //	paperbench -scale 0.3           # faster, noisier runs
 //	paperbench -platform KNL        # restrict simulated tables
 //	paperbench -csv                 # machine-readable table output
+//	paperbench -workers 8           # simulation concurrency (default GOMAXPROCS)
+//	paperbench -timeout 10m         # abort cleanly if regeneration overruns
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"littleslaw/internal/experiments"
@@ -32,9 +36,18 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "work scale factor (lower = faster, noisier)")
 	plats := flag.String("platform", "", "restrict to one platform (SKL, KNL, A64FX)")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := experiments.Options{Scale: *scale, Workers: *workers}
 	if *plats != "" {
 		opts.Platforms = []string{*plats}
 	}
@@ -68,16 +81,21 @@ func main() {
 		return
 
 	case *table != "":
-		emitTable(r, *table, *csv, fail)
+		emitTable(ctx, r, *table, *csv, fail)
 		return
 	}
 
 	// Everything.
 	for _, id := range []string{"I", "II", "III"} {
-		emitTable(r, id, *csv, fail)
+		emitTable(ctx, r, id, *csv, fail)
+	}
+	// One flat dispatch warms the run cache across all six tables, so the
+	// per-table emission below is pure (ordered) assembly.
+	if _, err := r.AllTablesContext(ctx); err != nil {
+		fail(err)
 	}
 	for _, id := range experiments.TableIDs() {
-		emitTable(r, id, *csv, fail)
+		emitTable(ctx, r, id, *csv, fail)
 	}
 	m, err := r.Figure2()
 	if err != nil {
@@ -166,7 +184,7 @@ func runAblation(r *experiments.Runner, name string, fail func(error)) {
 	}
 }
 
-func emitTable(r *experiments.Runner, id string, csv bool, fail func(error)) {
+func emitTable(ctx context.Context, r *experiments.Runner, id string, csv bool, fail func(error)) {
 	switch id {
 	case "I", "II", "III":
 		s, err := experiments.DescribeStatic(id)
@@ -177,7 +195,7 @@ func emitTable(r *experiments.Runner, id string, csv bool, fail func(error)) {
 		return
 	}
 	start := time.Now()
-	t, err := r.Table(id)
+	t, err := r.TableContext(ctx, id)
 	if err != nil {
 		fail(err)
 	}

@@ -7,12 +7,15 @@
 //	xmemprof -platform SKL                  # print the profile
 //	xmemprof -platform KNL -o knl.json      # save as JSON for mlptool -profile
 //	xmemprof -platform A64FX -probes 500    # higher-precision sweep
+//	xmemprof -platform KNL -workers 8       # sweep operating points concurrently
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"littleslaw/internal/platform"
 	"littleslaw/internal/textplot"
@@ -24,7 +27,16 @@ func main() {
 	out := flag.String("o", "", "write the profile as JSON to this file")
 	probes := flag.Int("probes", 300, "latency-probe samples per operating point")
 	plot := flag.Bool("plot", false, "render the profile as a terminal chart")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently measured operating points (1 = serial; the profile is identical)")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "xmemprof:", err)
@@ -37,7 +49,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "xmemprof: sweeping %s (%d cores, %s %.0f GB/s theoretical)...\n",
 		p.Name, p.Cores, p.Memory.Tech, p.PeakGBs())
-	curve, err := xmem.Characterize(p, xmem.Options{ProbeOps: *probes})
+	curve, err := xmem.CharacterizeContext(ctx, p, xmem.Options{ProbeOps: *probes, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

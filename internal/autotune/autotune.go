@@ -6,9 +6,11 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 
 	"littleslaw/internal/core"
+	"littleslaw/internal/engine"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
 	"littleslaw/internal/sim"
@@ -55,6 +57,14 @@ type Options struct {
 	// nothing left, try disabling compiler loop fusion on platforms with
 	// weak store forwarding.
 	UserIntuition bool
+	// Workers bounds how many candidate variants are evaluated
+	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// historical serial loop. Any worker count yields the identical step
+	// sequence: the recipe's candidate slate from the current state is
+	// evaluated speculatively, then walked in recipe order — rejections
+	// leave the state unchanged (so later speculative runs stay valid)
+	// and the first acceptance discards the rest and re-gathers.
+	Workers int
 }
 
 func (o *Options) normalize() {
@@ -71,22 +81,62 @@ func (o *Options) normalize() {
 
 // Tune runs the recipe loop for a workload on a platform.
 func Tune(p *platform.Platform, profile *queueing.Curve, w workloads.Workload, opts Options) (*Result, error) {
+	return TuneContext(context.Background(), p, profile, w, opts)
+}
+
+// candidate is one speculatively evaluable rung: the optimization the
+// recipe would pick and the configuration it leads to.
+type candidate struct {
+	opt     core.Optimization
+	variant workloads.Variant
+	threads int
+}
+
+// gatherCandidates replays pickCandidate against a scratch tried-set to
+// enumerate the exact sequence of optimizations the serial loop would try
+// from the current state, assuming each is rejected (rejections leave the
+// state — and therefore the recipe's report and capabilities — unchanged,
+// which is what makes the slate valid to evaluate concurrently).
+func gatherCandidates(rep *core.Report, caps core.Capabilities, v workloads.Variant, threads int,
+	tried map[core.Optimization]bool, p *platform.Platform, opts Options) []candidate {
+
+	scratch := make(map[core.Optimization]bool, len(tried))
+	for k, ok := range tried {
+		scratch[k] = ok
+	}
+	var out []candidate
+	for {
+		opt, nv, nt, ok := pickCandidate(rep, caps, v, threads, scratch, p, opts)
+		if !ok {
+			return out
+		}
+		scratch[opt] = true
+		out = append(out, candidate{opt: opt, variant: nv, threads: nt})
+	}
+}
+
+// TuneContext is Tune with cancellation and concurrent candidate
+// evaluation across a bounded worker pool. The step sequence, acceptance
+// decisions and final report are identical to the serial loop for any
+// worker count.
+func TuneContext(ctx context.Context, p *platform.Platform, profile *queueing.Curve, w workloads.Workload, opts Options) (*Result, error) {
 	opts.normalize()
 	if profile == nil {
 		return nil, fmt.Errorf("autotune: nil profile")
 	}
+	pool := engine.New(opts.Workers)
 
 	state := w.Variant()
 	threads := 1
-	run := func(v workloads.Variant, th int) (*sim.Result, error) {
+	run := func(ctx context.Context, v workloads.Variant, th int) (*sim.Result, error) {
 		cfg := w.WithVariant(v).Config(p, th, opts.Scale)
 		if opts.Cores != 0 {
 			cfg.Cores = opts.Cores
 		}
-		return sim.Run(cfg)
+		return sim.RunContext(ctx, cfg)
 	}
 
-	cur, err := run(state, threads)
+	cur, err := run(ctx, state, threads)
 	if err != nil {
 		return nil, err
 	}
@@ -114,22 +164,56 @@ func Tune(p *platform.Platform, profile *queueing.Curve, w workloads.Workload, o
 		res.FinalReport = rep
 
 		caps := w.WithVariant(state).Capabilities(p, threads)
-		opt, nextVariant, nextThreads, ok := pickCandidate(rep, caps, state, threads, tried, p, opts)
-		if !ok {
+		cands := gatherCandidates(rep, caps, state, threads, tried, p, opts)
+		if len(cands) == 0 {
 			break
 		}
-		tried[opt] = true
-
-		next, err := run(nextVariant, nextThreads)
-		if err != nil {
-			return nil, err
+		if remaining := opts.MaxSteps - len(res.Steps); len(cands) > remaining {
+			cands = cands[:remaining]
 		}
-		speedup := next.Throughput / cur.Throughput
-		accepted := speedup >= opts.AcceptThreshold
-		res.Steps = append(res.Steps, Step{Tried: opt, Report: rep, Speedup: speedup, Accepted: accepted})
-		if accepted {
-			state, threads, cur = nextVariant, nextThreads, next
-			res.FinalVariant, res.FinalThreads = state, threads
+
+		// Speculative batch: with multiple workers, evaluate the whole
+		// slate up front (an acceptance wastes the tail, a speedup vs. the
+		// common all-rejected walk); serially, evaluate lazily so the cost
+		// matches the historical loop exactly.
+		var runs []*sim.Result
+		if pool.Workers() > 1 && len(cands) > 1 {
+			jobs := make([]func(context.Context) (*sim.Result, error), len(cands))
+			for i, c := range cands {
+				c := c
+				jobs[i] = func(ctx context.Context) (*sim.Result, error) {
+					return run(ctx, c.variant, c.threads)
+				}
+			}
+			runs, err = engine.Map(ctx, pool, jobs)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		accepted := false
+		for i, c := range cands {
+			tried[c.opt] = true
+			next := (*sim.Result)(nil)
+			if runs != nil {
+				next = runs[i]
+			} else if next, err = run(ctx, c.variant, c.threads); err != nil {
+				return nil, err
+			}
+			speedup := next.Throughput / cur.Throughput
+			ok := speedup >= opts.AcceptThreshold
+			res.Steps = append(res.Steps, Step{Tried: c.opt, Report: rep, Speedup: speedup, Accepted: ok})
+			if ok {
+				state, threads, cur = c.variant, c.threads, next
+				res.FinalVariant, res.FinalThreads = state, threads
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			// Every candidate from this state was rejected; the serial
+			// loop's next iteration would find nothing new and stop.
+			break
 		}
 	}
 

@@ -1,11 +1,13 @@
 package autotune
 
 import (
+	"reflect"
 	"testing"
 
 	"littleslaw/internal/core"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
+	"littleslaw/internal/sim"
 	"littleslaw/internal/workloads"
 )
 
@@ -121,5 +123,70 @@ func TestTuneMaxStepsBound(t *testing.T) {
 	}
 	if len(res.Steps) > 1 {
 		t.Fatalf("steps = %d, want ≤ 1", len(res.Steps))
+	}
+}
+
+// TestTuneDeterministicAcrossWorkers: the speculative batch evaluator must
+// replay the serial loop's exact step sequence — same optimizations, same
+// speedups, same acceptances, same final state — for any worker count.
+func TestTuneDeterministicAcrossWorkers(t *testing.T) {
+	w, _ := workloads.ByName("ISx")
+	tune := func(workers int) *Result {
+		res, err := Tune(platform.KNL(), knlCurve(), w, Options{Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := tune(1)
+	for _, workers := range []int{2, 4} {
+		got := tune(workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("tune diverged at %d workers:\nserial: %+v\nparallel: %+v", workers, serial, got)
+		}
+	}
+}
+
+// TestGatherCandidatesMatchesPickSequence: the slate must be exactly what
+// repeated pickCandidate calls with accumulating tried-marks would yield,
+// and gathering must not mutate the caller's tried-set.
+func TestGatherCandidatesMatchesPickSequence(t *testing.T) {
+	w, _ := workloads.ByName("ISx")
+	p := platform.KNL()
+	var opts Options
+	opts.normalize()
+	res, err := sim.Run(w.Config(p, 1, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Analyze(p, knlCurve(), core.Measurement{
+		Routine:        w.Routine(),
+		BandwidthGBs:   res.TotalGBs,
+		ActiveCores:    res.Cores,
+		ThreadsPerCore: 1,
+		RandomAccess:   w.RandomAccess(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := w.Capabilities(p, 1)
+	tried := map[core.Optimization]bool{}
+	cands := gatherCandidates(rep, caps, w.Variant(), 1, tried, p, opts)
+	if len(tried) != 0 {
+		t.Fatalf("gatherCandidates mutated the caller's tried-set: %v", tried)
+	}
+	replay := map[core.Optimization]bool{}
+	for i, c := range cands {
+		opt, nv, nt, ok := pickCandidate(rep, caps, w.Variant(), 1, replay, p, opts)
+		if !ok {
+			t.Fatalf("pick sequence ended at %d, slate has %d", i, len(cands))
+		}
+		if opt != c.opt || nv != c.variant || nt != c.threads {
+			t.Fatalf("slate[%d] = %+v, pick sequence gives (%v, %+v, %d)", i, c, opt, nv, nt)
+		}
+		replay[opt] = true
+	}
+	if _, _, _, ok := pickCandidate(rep, caps, w.Variant(), 1, replay, p, opts); ok {
+		t.Fatal("pick sequence continues past the gathered slate")
 	}
 }

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Group is a singleflight-style result cache keyed on run configuration:
+// the first caller of a key executes the function while concurrent callers
+// of the same key wait for — and share — its result. Successful results
+// are retained, so a Group doubles as the process cache the serial code
+// kept in a plain map; failed calls are forgotten and retried by the next
+// caller. The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, executing fn exactly once per key
+// among concurrent callers. Waiters abandon the wait (but not the in-flight
+// call) when their own context is cancelled.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[K]*flight[V])
+		}
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, nil
+			}
+			// The shared call failed (possibly from another caller's
+			// cancellation); retry under this caller's context.
+			if err := ctx.Err(); err != nil {
+				var zero V
+				return zero, err
+			}
+			continue
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		g.m[key] = f
+		g.mu.Unlock()
+
+		f.val, f.err = protect(ctx, func(context.Context) (V, error) { return fn() })
+		if f.err != nil {
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+		}
+		close(f.done)
+		return f.val, f.err
+	}
+}
+
+// Put seeds the cache with a completed value (test and warm-start hook).
+func (g *Group[K, V]) Put(key K, val V) {
+	f := &flight[V]{done: make(chan struct{}), val: val}
+	close(f.done)
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flight[V])
+	}
+	g.m[key] = f
+	g.mu.Unlock()
+}
+
+// Forget drops a key so the next Do re-executes.
+func (g *Group[K, V]) Forget(key K) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+}
+
+// Keys returns the keys of completed, successful entries (order unspecified).
+func (g *Group[K, V]) Keys() []K {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	keys := make([]K, 0, len(g.m))
+	for k, f := range g.m {
+		select {
+		case <-f.done:
+			if f.err == nil {
+				keys = append(keys, k)
+			}
+		default:
+		}
+	}
+	return keys
+}

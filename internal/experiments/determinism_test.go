@@ -1,0 +1,57 @@
+// Determinism is the concurrent engine's acceptance bar: a regenerated
+// table must render byte-for-byte identically whether its runs execute
+// serially or across a worker pool. The test lives in the external test
+// package so it can use internal/report's renderer (report imports
+// experiments).
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"littleslaw/internal/experiments"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/report"
+)
+
+// sklPaperProfile mirrors the SKL curve used by the in-package tests so
+// the determinism check does not pay for an X-Mem characterization.
+func sklPaperProfile(p *platform.Platform) (*queueing.Curve, error) {
+	return queueing.NewCurve([]queueing.CurvePoint{
+		{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 37.9, LatencyNs: 93},
+		{BandwidthGBs: 58.2, LatencyNs: 100}, {BandwidthGBs: 92.9, LatencyNs: 117},
+		{BandwidthGBs: 106.9, LatencyNs: 145}, {BandwidthGBs: 112, LatencyNs: 220},
+	})
+}
+
+func renderTableIV(t *testing.T, workers int) string {
+	t.Helper()
+	r := experiments.NewRunner(experiments.Options{
+		Scale:      0.05,
+		Platforms:  []string{"SKL"},
+		ProfileFor: sklPaperProfile,
+		Workers:    workers,
+	})
+	tab, err := r.Table("IV")
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteTableCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTableIVDeterministicAcrossWorkers(t *testing.T) {
+	serial := renderTableIV(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := renderTableIV(t, workers); got != serial {
+			t.Fatalf("table IV differs at %d workers:\nserial:\n%s\nparallel:\n%s", workers, serial, got)
+		}
+	}
+}

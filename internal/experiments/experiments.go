@@ -11,10 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"littleslaw/internal/core"
+	"littleslaw/internal/engine"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
 	"littleslaw/internal/sim"
@@ -29,7 +31,7 @@ type Step struct {
 	Threads int
 	// NextOpt is the paper's next optimization (empty on final rows).
 	NextOpt core.Optimization
-	// NextVariant/NextThreads define theconfiguration NextOpt leads to.
+	// NextVariant/NextThreads define the configuration NextOpt leads to.
 	NextVariant workloads.Variant
 	NextThreads int
 	// Final marks rows with no further optimization ("-" in the tables).
@@ -80,7 +82,13 @@ type Options struct {
 	Platforms []string
 	// ProfileFor supplies the bandwidth→latency curve per platform;
 	// nil means the cached X-Mem characterization (the honest pipeline).
+	// A supplied function must be safe for concurrent calls with distinct
+	// platforms (the Runner already deduplicates same-platform calls).
 	ProfileFor func(*platform.Platform) (*queueing.Curve, error)
+	// Workers bounds how many simulations run concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces serial execution. Table output is
+	// byte-identical for any worker count.
+	Workers int
 }
 
 func (o *Options) normalize() {
@@ -89,9 +97,6 @@ func (o *Options) normalize() {
 	}
 	if len(o.Platforms) == 0 {
 		o.Platforms = []string{"SKL", "KNL", "A64FX"}
-	}
-	if o.ProfileFor == nil {
-		o.ProfileFor = xmem.ProfileFor
 	}
 }
 
@@ -248,35 +253,139 @@ type runKey struct {
 	threads  int
 }
 
-// Runner executes table regenerations, caching simulated configurations so
-// that a row and its successor share runs.
+// Runner executes table regenerations on a bounded worker pool, caching
+// simulated configurations (singleflight per runKey) so that a row and its
+// successor share runs and concurrent pipelines never duplicate work.
 type Runner struct {
-	opts  Options
-	cache map[runKey]*sim.Result
+	opts     Options
+	pool     *engine.Pool
+	cache    engine.Group[runKey, *sim.Result]
+	profiles engine.Group[string, *queueing.Curve]
 }
 
 // NewRunner builds a Runner.
 func NewRunner(opts Options) *Runner {
 	opts.normalize()
-	return &Runner{opts: opts, cache: make(map[runKey]*sim.Result)}
+	return &Runner{opts: opts, pool: engine.New(opts.Workers)}
 }
 
-func (r *Runner) run(w workloads.Workload, p *platform.Platform, v workloads.Variant, threads int) (*sim.Result, error) {
+func (r *Runner) run(ctx context.Context, w workloads.Workload, p *platform.Platform, v workloads.Variant, threads int) (*sim.Result, error) {
 	key := runKey{workload: w.Name(), plat: p.Name, variant: v, threads: threads}
-	if res, ok := r.cache[key]; ok {
+	return r.cache.Do(ctx, key, func() (*sim.Result, error) {
+		cfg := w.WithVariant(v).Config(p, threads, r.opts.Scale)
+		res, err := sim.RunContext(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s %s: %w", w.Name(), p.Name, v.Label(threads), err)
+		}
 		return res, nil
-	}
-	cfg := w.WithVariant(v).Config(p, threads, r.opts.Scale)
-	res, err := sim.Run(cfg)
+	})
+}
+
+// profile returns the platform's bandwidth→latency curve, deduplicating
+// concurrent requests per platform.
+func (r *Runner) profile(ctx context.Context, p *platform.Platform) (*queueing.Curve, error) {
+	curve, err := r.profiles.Do(ctx, p.Name, func() (*queueing.Curve, error) {
+		if r.opts.ProfileFor != nil {
+			return r.opts.ProfileFor(p)
+		}
+		return xmem.ProfileForContext(ctx, p)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s %s: %w", w.Name(), p.Name, v.Label(threads), err)
+		return nil, fmt.Errorf("experiments: profiling %s: %w", p.Name, err)
 	}
-	r.cache[key] = res
-	return res, nil
+	return curve, nil
+}
+
+// tableWork enumerates everything a set of tables needs — each platform's
+// profile and every distinct simulated configuration — in first-use order.
+func (r *Runner) tableWork(ids []string) (plats []*platform.Platform, keys []runKey, err error) {
+	seenKey := map[runKey]bool{}
+	addKey := func(k runKey) {
+		if !seenKey[k] {
+			seenKey[k] = true
+			keys = append(keys, k)
+		}
+	}
+	seenPlat := map[string]bool{}
+	for _, platName := range r.opts.Platforms {
+		if seenPlat[platName] {
+			continue
+		}
+		seenPlat[platName] = true
+		p, err := platform.ByName(platName)
+		if err != nil {
+			return nil, nil, err
+		}
+		plats = append(plats, p)
+	}
+	for _, id := range ids {
+		spec, ok := tableSpecs[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: unknown table %q (want IV..IX)", id)
+		}
+		for _, p := range plats {
+			for _, st := range spec.steps[p.Name] {
+				addKey(runKey{workload: spec.workload, plat: p.Name, variant: st.Variant, threads: st.Threads})
+				if !st.Final {
+					addKey(runKey{workload: spec.workload, plat: p.Name, variant: st.NextVariant, threads: st.NextThreads})
+				}
+			}
+		}
+	}
+	return plats, keys, nil
+}
+
+// precompute dispatches the tables' profiles and distinct simulations
+// across the worker pool, warming the Runner's caches. Assembly afterwards
+// is pure cache hits, so row order never depends on completion order.
+func (r *Runner) precompute(ctx context.Context, ids []string) error {
+	plats, keys, err := r.tableWork(ids)
+	if err != nil {
+		return err
+	}
+	jobs := make([]func(context.Context) (struct{}, error), 0, len(plats)+len(keys))
+	for _, p := range plats {
+		p := p
+		jobs = append(jobs, func(ctx context.Context) (struct{}, error) {
+			_, err := r.profile(ctx, p)
+			return struct{}{}, err
+		})
+	}
+	for _, k := range keys {
+		k := k
+		jobs = append(jobs, func(ctx context.Context) (struct{}, error) {
+			w, ok := workloads.ByName(k.workload)
+			if !ok {
+				return struct{}{}, fmt.Errorf("experiments: unknown workload %q", k.workload)
+			}
+			p, err := platform.ByName(k.plat)
+			if err != nil {
+				return struct{}{}, err
+			}
+			_, err = r.run(ctx, w, p, k.variant, k.threads)
+			return struct{}{}, err
+		})
+	}
+	_, err = engine.Map(ctx, r.pool, jobs)
+	return err
 }
 
 // Table regenerates one paper table.
 func (r *Runner) Table(id string) (*Table, error) {
+	return r.TableContext(context.Background(), id)
+}
+
+// TableContext regenerates one paper table, dispatching its distinct runs
+// concurrently while emitting rows in paper order.
+func (r *Runner) TableContext(ctx context.Context, id string) (*Table, error) {
+	if err := r.precompute(ctx, []string{id}); err != nil {
+		return nil, err
+	}
+	return r.assemble(ctx, id)
+}
+
+// assemble builds a table's rows in paper order from the warmed caches.
+func (r *Runner) assemble(ctx context.Context, id string) (*Table, error) {
 	spec, ok := tableSpecs[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown table %q (want IV..IX)", id)
@@ -289,16 +398,16 @@ func (r *Runner) Table(id string) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		profile, err := r.opts.ProfileFor(p)
+		profile, err := r.profile(ctx, p)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: profiling %s: %w", p.Name, err)
+			return nil, err
 		}
 		steps, ok := spec.steps[platName]
 		if !ok {
 			continue
 		}
 		for _, st := range steps {
-			res, err := r.run(w, p, st.Variant, st.Threads)
+			res, err := r.run(ctx, w, p, st.Variant, st.Threads)
 			if err != nil {
 				return nil, err
 			}
@@ -329,7 +438,7 @@ func (r *Runner) Table(id string) (*Table, error) {
 				PaperSpeedup: st.PaperSpeedup,
 			}
 			if !st.Final {
-				next, err := r.run(w, p, st.NextVariant, st.NextThreads)
+				next, err := r.run(ctx, w, p, st.NextVariant, st.NextThreads)
 				if err != nil {
 					return nil, err
 				}
@@ -346,9 +455,20 @@ func (r *Runner) Table(id string) (*Table, error) {
 
 // AllTables regenerates every table, in order.
 func (r *Runner) AllTables() ([]*Table, error) {
+	return r.AllTablesContext(context.Background())
+}
+
+// AllTablesContext regenerates every table in paper order, with every
+// distinct simulation across all six tables sharing one worker-pool
+// dispatch — cross-table parallelism, identical output to the serial path.
+func (r *Runner) AllTablesContext(ctx context.Context) ([]*Table, error) {
+	ids := TableIDs()
+	if err := r.precompute(ctx, ids); err != nil {
+		return nil, err
+	}
 	var out []*Table
-	for _, id := range TableIDs() {
-		t, err := r.Table(id)
+	for _, id := range ids {
+		t, err := r.assemble(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +480,7 @@ func (r *Runner) AllTables() ([]*Table, error) {
 // SortedCacheKeys aids debugging/tests.
 func (r *Runner) SortedCacheKeys() []string {
 	var keys []string
-	for k := range r.cache {
+	for _, k := range r.cache.Keys() {
 		keys = append(keys, fmt.Sprintf("%s/%s/%+v/%d", k.workload, k.plat, k.variant, k.threads))
 	}
 	sort.Strings(keys)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"littleslaw/internal/core"
@@ -16,8 +17,9 @@ import (
 // L1-MSHR ceiling, carrying the baseline ISx point (O) and the fully
 // optimized point (O1).
 func (r *Runner) Figure2() (*roofline.Model, error) {
+	ctx := context.Background()
 	p, _ := platform.ByName("KNL")
-	profile, err := r.opts.ProfileFor(p)
+	profile, err := r.profile(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -27,11 +29,11 @@ func (r *Runner) Figure2() (*roofline.Model, error) {
 	}
 	w, _ := workloads.ByName("ISx")
 
-	base, err := r.run(w, p, workloads.Variant{}, 1)
+	base, err := r.run(ctx, w, p, workloads.Variant{}, 1)
 	if err != nil {
 		return nil, err
 	}
-	opt, err := r.run(w, p, workloads.Variant{Vectorized: true, SWPrefetchL2: true}, 2)
+	opt, err := r.run(ctx, w, p, workloads.Variant{Vectorized: true, SWPrefetchL2: true}, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -62,8 +64,9 @@ type TMACritique struct {
 // split, tiny derived latency) and HPCG (full bandwidth, derived latency
 // near cache hit).
 func (r *Runner) TMACritiques() ([]TMACritique, error) {
+	ctx := context.Background()
 	p, _ := platform.ByName("SKL")
-	profile, err := r.opts.ProfileFor(p)
+	profile, err := r.profile(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +78,7 @@ func (r *Runner) TMACritiques() ([]TMACritique, error) {
 		{"HPCG", "At ~86% of peak bandwidth TMA's derived latency reads as a cache-hit-scale number because demand loads hit prefetched lines; the loaded latency is an order of magnitude higher (§II)."},
 	} {
 		w, _ := workloads.ByName(c.app)
-		res, err := r.run(w, p, workloads.Variant{}, 1)
+		res, err := r.run(ctx, w, p, workloads.Variant{}, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -114,9 +117,10 @@ type LatencyCounterExperiment struct {
 
 // LatencyCounterCritique runs ISx on SKL and reads the threshold counter.
 func (r *Runner) LatencyCounterCritique() (*LatencyCounterExperiment, error) {
+	ctx := context.Background()
 	p, _ := platform.ByName("SKL")
 	w, _ := workloads.ByName("ISx")
-	res, err := r.run(w, p, workloads.Variant{}, 1)
+	res, err := r.run(ctx, w, p, workloads.Variant{}, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -146,13 +150,14 @@ type MSHRStallExperiment struct {
 
 // MSHRStalls runs the §IV-A verification.
 func (r *Runner) MSHRStalls() (*MSHRStallExperiment, error) {
+	ctx := context.Background()
 	p, _ := platform.ByName("A64FX")
 	w, _ := workloads.ByName("ISx")
-	base, err := r.run(w, p, workloads.Variant{}, 1)
+	base, err := r.run(ctx, w, p, workloads.Variant{}, 1)
 	if err != nil {
 		return nil, err
 	}
-	pref, err := r.run(w, p, workloads.Variant{SWPrefetchL2: true}, 1)
+	pref, err := r.run(ctx, w, p, workloads.Variant{SWPrefetchL2: true}, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -216,6 +221,7 @@ type IdleLatencyAblation struct {
 // IdleLatencyAblations runs the ablation on the ISx base rows of all
 // requested platforms.
 func (r *Runner) IdleLatencyAblations() ([]IdleLatencyAblation, error) {
+	ctx := context.Background()
 	w, _ := workloads.ByName("ISx")
 	var out []IdleLatencyAblation
 	for _, name := range r.opts.Platforms {
@@ -223,11 +229,11 @@ func (r *Runner) IdleLatencyAblations() ([]IdleLatencyAblation, error) {
 		if err != nil {
 			return nil, err
 		}
-		profile, err := r.opts.ProfileFor(p)
+		profile, err := r.profile(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		res, err := r.run(w, p, workloads.Variant{}, 1)
+		res, err := r.run(ctx, w, p, workloads.Variant{}, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -149,9 +150,35 @@ type Result struct {
 
 // Run executes the configured node simulation to completion and returns
 // steady-state measurements.
+//
+// A run touches no mutable package-level state: the scheduler, node,
+// hierarchies and per-thread generators (seeded RNGs included) are all
+// constructed per call, so concurrent Runs are race-clean and each produces
+// the same bits it would alone.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx every few thousand dispatched events and aborts with ctx.Err() when
+// it fires. A completed run's result is unaffected by the checks.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	// cancelled polls ctx cheaply from the event-loop conditions: an
+	// atomic-free modulo counter keeps the per-event overhead negligible.
+	const cancelCheckEvery = 8192
+	cancelSteps := 0
+	cancelled := func() bool {
+		cancelSteps++
+		return cancelSteps%cancelCheckEvery == 0 && ctx.Err() != nil
 	}
 	sched := &events.Scheduler{}
 	node := memsys.NewNode(sched, cfg.Plat)
@@ -221,6 +248,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.WarmupFrac > 0 {
 		sched.RunWhile(func() bool {
+			if cancelled() {
+				return false
+			}
 			steps++
 			if steps%checkEvery != 0 {
 				return true
@@ -239,8 +269,11 @@ func Run(cfg Config) (*Result, error) {
 	t1 := sched.Now()
 
 	// Measure until the first thread drains (steady state throughout).
-	sched.RunWhile(func() bool { return finished == 0 })
+	sched.RunWhile(func() bool { return !cancelled() && finished == 0 })
 	t2 := sched.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: run cancelled: %w", err)
+	}
 	if finished == 0 || t2 <= t1 {
 		// Workload too small for the warmup protocol: fall back to a
 		// whole-run measurement.
@@ -250,8 +283,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		workBase = 0
 		t1 = 0
-		sched.Run()
+		sched.RunWhile(func() bool { return !cancelled() })
 		t2 = sched.Now()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run cancelled: %w", err)
+		}
 		if t2 == 0 {
 			return nil, fmt.Errorf("sim: empty run (no simulated time elapsed)")
 		}

@@ -13,13 +13,14 @@
 package xmem
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
-	"sync"
 
+	"littleslaw/internal/engine"
 	"littleslaw/internal/events"
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
@@ -41,6 +42,11 @@ type Options struct {
 	Levels []Level
 	// Seed for the probe's random pointer chain.
 	Seed int64
+	// Workers bounds how many operating points are measured concurrently
+	// (each point is an independent simulated node). 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the historical serial sweep. The
+	// resulting curve is identical for any worker count.
+	Workers int
 }
 
 // Level is one operating point of the sweep.
@@ -74,6 +80,15 @@ func defaultLevels(p *platform.Platform) []Level {
 
 // Characterize measures the platform's bandwidth→latency profile.
 func Characterize(p *platform.Platform, opts Options) (*queueing.Curve, error) {
+	return CharacterizeContext(context.Background(), p, opts)
+}
+
+// CharacterizeContext measures the profile with the sweep's operating
+// points dispatched across a worker pool (each point is its own simulated
+// node, so points are independent) and with cooperative cancellation. The
+// points enter the curve in sweep order, so the result is identical for
+// any worker count.
+func CharacterizeContext(ctx context.Context, p *platform.Platform, opts Options) (*queueing.Curve, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,20 +108,27 @@ func Characterize(p *platform.Platform, opts Options) (*queueing.Curve, error) {
 	if levels == nil {
 		levels = defaultLevels(p)
 	}
-	var pts []queueing.CurvePoint
-	for _, lv := range levels {
-		pt, err := measure(p, opts, lv)
-		if err != nil {
-			return nil, fmt.Errorf("xmem: level %+v: %w", lv, err)
+	jobs := make([]func(context.Context) (queueing.CurvePoint, error), len(levels))
+	for i, lv := range levels {
+		lv := lv
+		jobs[i] = func(ctx context.Context) (queueing.CurvePoint, error) {
+			pt, err := measure(ctx, p, opts, lv)
+			if err != nil {
+				return queueing.CurvePoint{}, fmt.Errorf("xmem: level %+v: %w", lv, err)
+			}
+			return pt, nil
 		}
-		pts = append(pts, pt)
+	}
+	pts, err := engine.Map(ctx, engine.New(opts.Workers), jobs)
+	if err != nil {
+		return nil, err
 	}
 	return queueing.NewCurve(pts)
 }
 
 // measure runs one operating point: generators at the given level plus the
 // latency probe, reporting (bandwidth, probe latency).
-func measure(p *platform.Platform, opts Options, lv Level) (queueing.CurvePoint, error) {
+func measure(ctx context.Context, p *platform.Platform, opts Options, lv Level) (queueing.CurvePoint, error) {
 	sched := &events.Scheduler{}
 	node := memsys.NewNode(sched, p)
 	clock := p.Clock()
@@ -196,7 +218,18 @@ func measure(p *platform.Platform, opts Options, lv Level) (queueing.CurvePoint,
 		})
 	}
 	chase()
-	sched.RunWhile(func() bool { return !stop })
+	const cancelCheckEvery = 8192
+	cancelSteps := 0
+	sched.RunWhile(func() bool {
+		cancelSteps++
+		if cancelSteps%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return false
+		}
+		return !stop
+	})
+	if err := ctx.Err(); err != nil {
+		return queueing.CurvePoint{}, fmt.Errorf("measurement cancelled: %w", err)
+	}
 
 	window := sched.Now() - measStart
 	if window <= 0 || opts.ProbeOps == 0 {
@@ -243,23 +276,22 @@ func ReadJSON(r io.Reader) (*Profile, error) {
 	return &pr, nil
 }
 
-var (
-	cacheMu sync.Mutex
-	cache   = map[string]*queueing.Curve{}
-)
+// cache deduplicates and retains characterizations by platform name:
+// concurrent ProfileFor calls for the same platform share one run, while
+// different platforms characterize in parallel (the old mutex-over-the-map
+// serialized them).
+var cache engine.Group[string, *queueing.Curve]
 
 // ProfileFor returns the (process-cached) default characterization for a
 // platform — the paper's once-per-processor artifact.
 func ProfileFor(p *platform.Platform) (*queueing.Curve, error) {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if c, ok := cache[p.Name]; ok {
-		return c, nil
-	}
-	c, err := Characterize(p, Options{})
-	if err != nil {
-		return nil, err
-	}
-	cache[p.Name] = c
-	return c, nil
+	return ProfileForContext(context.Background(), p)
+}
+
+// ProfileForContext is ProfileFor with cancellation; the underlying sweep
+// also fans its operating points across the default worker pool.
+func ProfileForContext(ctx context.Context, p *platform.Platform) (*queueing.Curve, error) {
+	return cache.Do(ctx, p.Name, func() (*queueing.Curve, error) {
+		return CharacterizeContext(ctx, p, Options{})
+	})
 }

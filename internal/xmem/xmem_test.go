@@ -95,9 +95,8 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 func TestProfileForCaches(t *testing.T) {
 	// Use the cache with a pre-seeded entry to avoid a full characterization
 	// in unit tests.
-	cacheMu.Lock()
-	cache["FAKE"] = queueing.MustCurve([]queueing.CurvePoint{{BandwidthGBs: 1, LatencyNs: 100}})
-	cacheMu.Unlock()
+	cache.Put("FAKE", queueing.MustCurve([]queueing.CurvePoint{{BandwidthGBs: 1, LatencyNs: 100}}))
+	defer cache.Forget("FAKE")
 	p := platform.SKL()
 	p.Name = "FAKE"
 	c, err := ProfileFor(p)
@@ -107,9 +106,32 @@ func TestProfileForCaches(t *testing.T) {
 	if c.IdleLatencyNs() != 100 {
 		t.Fatal("cached profile not returned")
 	}
-	cacheMu.Lock()
-	delete(cache, "FAKE")
-	cacheMu.Unlock()
+}
+
+// TestCharacterizeDeterministicAcrossWorkers: the sweep must produce a
+// byte-identical serialized profile whether the operating points run
+// serially or across a pool — the engine's determinism bar.
+func TestCharacterizeDeterministicAcrossWorkers(t *testing.T) {
+	p := platform.SKL()
+	render := func(workers int) string {
+		opts := fastOpts
+		opts.Workers = workers
+		c, err := Characterize(p, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := NewProfile(p, c).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); got != serial {
+			t.Fatalf("profile differs at %d workers:\nserial:\n%s\nparallel:\n%s", workers, serial, got)
+		}
+	}
 }
 
 // TestCalibrationAgainstPaperAnchors verifies the simulated loaded-latency

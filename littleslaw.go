@@ -31,6 +31,8 @@
 package littleslaw
 
 import (
+	"context"
+
 	"littleslaw/internal/access"
 	"littleslaw/internal/autotune"
 	"littleslaw/internal/core"
@@ -98,10 +100,22 @@ func Workloads() []WorkloadSpec { return workloads.All() }
 // bandwidth→latency profile — the paper's once-per-processor artifact.
 func Characterize(p *PlatformSpec) (*Curve, error) { return xmem.ProfileFor(p) }
 
+// CharacterizeContext is Characterize with cancellation; the sweep's
+// operating points fan out across the default worker pool.
+func CharacterizeContext(ctx context.Context, p *PlatformSpec) (*Curve, error) {
+	return xmem.ProfileForContext(ctx, p)
+}
+
 // Run simulates a workload on the full node with the given SMT depth.
 // scale multiplies per-thread work (1.0 = benchmark size).
 func Run(w WorkloadSpec, p *PlatformSpec, threadsPerCore int, scale float64) (*RunResult, error) {
 	return sim.Run(w.Config(p, threadsPerCore, scale))
+}
+
+// RunContext is Run with cooperative cancellation: the simulation's event
+// loop polls ctx and aborts early when it is cancelled or times out.
+func RunContext(ctx context.Context, w WorkloadSpec, p *PlatformSpec, threadsPerCore int, scale float64) (*RunResult, error) {
+	return sim.RunContext(ctx, w.Config(p, threadsPerCore, scale))
 }
 
 // MeasurementFrom converts a simulated run into the metric's input, the
@@ -141,6 +155,14 @@ func RegenerateTable(id string, scale float64) (*experiments.Table, error) {
 	return experiments.NewRunner(experiments.Options{Scale: scale}).Table(id)
 }
 
+// RegenerateTableContext is RegenerateTable with cancellation and the
+// table's distinct runs dispatched across workers goroutines (0 means
+// runtime.GOMAXPROCS(0)). The rendered table is byte-identical for any
+// worker count.
+func RegenerateTableContext(ctx context.Context, id string, scale float64, workers int) (*experiments.Table, error) {
+	return experiments.NewRunner(experiments.Options{Scale: scale, Workers: workers}).TableContext(ctx, id)
+}
+
 type errUnknownWorkload string
 
 func (e errUnknownWorkload) Error() string {
@@ -157,6 +179,13 @@ type TuneResult = autotune.Result
 // re-measure) to a fixed point for a workload on a platform.
 func Tune(p *PlatformSpec, profile *Curve, w WorkloadSpec, opts TuneOptions) (*TuneResult, error) {
 	return autotune.Tune(p, profile, w, opts)
+}
+
+// TuneContext is Tune with cancellation and concurrent candidate
+// evaluation (opts.Workers); the step sequence is identical to Tune for
+// any worker count.
+func TuneContext(ctx context.Context, p *PlatformSpec, profile *Curve, w WorkloadSpec, opts TuneOptions) (*TuneResult, error) {
+	return autotune.TuneContext(ctx, p, profile, w, opts)
 }
 
 // PatternProfile re-exports the access classifier's result.
