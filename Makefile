@@ -4,9 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/
+RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/ ./internal/service/
 
-.PHONY: all vet build test race bench check
+# Fuzz targets get a short deterministic smoke in CI; run them longer by hand
+# with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
+FUZZTIME ?= 10s
+
+.PHONY: all vet build test race bench fuzz check
 
 all: check
 
@@ -25,6 +29,11 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+fuzz:
+	$(GO) test ./internal/tracefile/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/service/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/service/ -run '^$$' -fuzz FuzzNormalizeTableID -fuzztime $(FUZZTIME)
 
 # check is the tier-1 gate plus the race job.
 check: vet build test race

@@ -1,0 +1,116 @@
+// Command llserved serves the Little's-Law analysis pipeline as an HTTP
+// JSON API: platform characterization, the Equation-2 metric, the Figure-1
+// recipe, the autotune loop and the paper tables, with profile/table
+// caching and Prometheus-style metrics.
+//
+// Usage:
+//
+//	llserved                         # serve on :8080, honest X-Mem profiles
+//	llserved -addr :9000             # another port
+//	llserved -paper-profiles         # published anchor curves (instant startup)
+//	llserved -warm                   # pre-characterize all platforms at startup
+//	llserved -timeout 2m             # default per-request deadline
+//	llserved -workers 8              # per-request simulation concurrency
+//
+// Endpoints:
+//
+//	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus text metrics (including the
+//	                                 server's own Little's-Law concurrency)
+//	GET  /v1/platforms               the paper's machines
+//	POST /v1/characterize            {"platform":"KNL"} → bandwidth→latency profile
+//	POST /v1/analyze                 workload run or direct measurement → MLP report
+//	POST /v1/advise                  … → report plus Figure-1 recipe verdicts
+//	POST /v1/tune                    … → autotune session
+//	GET  /v1/tables/{IV..IX}?scale=  regenerated paper table (also T4..T9)
+//
+// All endpoints accept ?timeout=30s. Shutdown is graceful: SIGINT/SIGTERM
+// stop the listener and wait for in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"littleslaw/internal/experiments"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request deadline (?timeout= overrides, capped by -max-timeout)")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Minute, "largest accepted per-request deadline")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations per request pipeline")
+	paperProfiles := flag.Bool("paper-profiles", false, "serve the paper's published anchor curves instead of running the X-Mem characterization (instant, deterministic)")
+	warm := flag.Bool("warm", false, "characterize all platforms in the background at startup")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	cfg := service.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Workers:        *workers,
+	}
+	if *paperProfiles {
+		cfg.ProfileFor = func(_ context.Context, p *platform.Platform) (*queueing.Curve, error) {
+			return experiments.PaperProfileFor(p)
+		}
+	}
+	srv := service.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warm {
+		go func() {
+			for _, p := range platform.All() {
+				if _, err := srv.Warm(ctx, p.Name); err != nil {
+					log.Printf("llserved: warm %s: %v", p.Name, err)
+					return
+				}
+				log.Printf("llserved: profile for %s ready", p.Name)
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("llserved: listening on %s (profiles: %s)", *addr, profileMode(*paperProfiles))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("llserved: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("llserved: shutting down (waiting up to %s for in-flight requests)", *shutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("llserved: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("llserved: bye")
+}
+
+func profileMode(paper bool) string {
+	if paper {
+		return "paper anchors"
+	}
+	return "X-Mem characterization on demand"
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
@@ -120,8 +121,9 @@ func Analyze(p *platform.Platform, profile *queueing.Curve, m Measurement) (*Rep
 	if profile == nil {
 		return nil, fmt.Errorf("core: nil bandwidth-latency profile")
 	}
-	if m.BandwidthGBs < 0 {
-		return nil, fmt.Errorf("core: negative bandwidth")
+	// !(x >= 0) also catches NaN, which would otherwise poison Equation 2.
+	if !(m.BandwidthGBs >= 0) || math.IsInf(m.BandwidthGBs, 0) {
+		return nil, fmt.Errorf("core: bandwidth must be finite and non-negative, got %v", m.BandwidthGBs)
 	}
 	cores := m.ActiveCores
 	if cores == 0 {

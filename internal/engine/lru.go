@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// LRU is a bounded Group: singleflight deduplication plus least-recently-
+// used eviction of completed entries. It is the cache a long-running
+// service needs where Group is the cache a batch run needs — Group retains
+// every key for the life of the process, LRU retains at most capacity of
+// them, evicting the coldest completed entry when a new key lands.
+//
+// In-flight computations are never evicted (a waiter holds a reference to
+// the flight), so the map can transiently exceed capacity by the number of
+// concurrent distinct misses. Failed computations are forgotten and
+// retried by the next caller, exactly like Group.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[K]*list.Element // of *lruEntry[K, V]
+	order    *list.List          // front = most recently used
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	f   *flight[V]
+}
+
+// NewLRU returns a cache retaining at most capacity completed entries.
+// capacity <= 0 means unbounded (equivalent to Group with recency
+// bookkeeping).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{capacity: capacity, m: make(map[K]*list.Element), order: list.New()}
+}
+
+// Do returns the value for key, computing it with fn at most once among
+// concurrent callers. The second return reports whether the value was
+// served from the cache — true both for a completed entry and for joining
+// another caller's in-flight computation (the computation was not paid for
+// by this caller either way). Waiters abandon the wait (but not the
+// in-flight call) when their own context is cancelled.
+func (l *LRU[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, bool, error) {
+	for {
+		l.mu.Lock()
+		if el, ok := l.m[key]; ok {
+			l.order.MoveToFront(el)
+			f := el.Value.(*lruEntry[K, V]).f
+			l.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, true, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, true, nil
+			}
+			// The shared call failed (possibly from another caller's
+			// cancellation); retry under this caller's context.
+			if err := ctx.Err(); err != nil {
+				var zero V
+				return zero, true, err
+			}
+			continue
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		el := l.order.PushFront(&lruEntry[K, V]{key: key, f: f})
+		l.m[key] = el
+		l.evictLocked()
+		l.mu.Unlock()
+
+		f.val, f.err = protect(ctx, fn)
+		if f.err != nil {
+			l.remove(key, el)
+		}
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its capacity. Callers hold l.mu.
+func (l *LRU[K, V]) evictLocked() {
+	if l.capacity <= 0 {
+		return
+	}
+	for el := l.order.Back(); el != nil && len(l.m) > l.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*lruEntry[K, V])
+		select {
+		case <-e.f.done:
+			delete(l.m, e.key)
+			l.order.Remove(el)
+		default:
+			// In flight: a caller is waiting on it; skip.
+		}
+		el = prev
+	}
+}
+
+// remove drops key if it still maps to el (a concurrent Forget+Do may have
+// replaced it).
+func (l *LRU[K, V]) remove(key K, el *list.Element) {
+	l.mu.Lock()
+	if cur, ok := l.m[key]; ok && cur == el {
+		delete(l.m, key)
+		l.order.Remove(el)
+	}
+	l.mu.Unlock()
+}
+
+// Put seeds the cache with a completed value.
+func (l *LRU[K, V]) Put(key K, val V) {
+	f := &flight[V]{done: make(chan struct{}), val: val}
+	close(f.done)
+	l.mu.Lock()
+	if el, ok := l.m[key]; ok {
+		el.Value.(*lruEntry[K, V]).f = f
+		l.order.MoveToFront(el)
+	} else {
+		l.m[key] = l.order.PushFront(&lruEntry[K, V]{key: key, f: f})
+		l.evictLocked()
+	}
+	l.mu.Unlock()
+}
+
+// Forget drops a key so the next Do re-executes.
+func (l *LRU[K, V]) Forget(key K) {
+	l.mu.Lock()
+	if el, ok := l.m[key]; ok {
+		delete(l.m, key)
+		l.order.Remove(el)
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of cached entries (including in-flight ones).
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}

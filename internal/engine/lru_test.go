@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUDoCachesAndReportsHits(t *testing.T) {
+	l := NewLRU[string, int](4)
+	calls := 0
+	fn := func(context.Context) (int, error) { calls++; return 42, nil }
+
+	v, hit, err := l.Do(context.Background(), "k", fn)
+	if err != nil || v != 42 || hit {
+		t.Fatalf("first Do = (%d, hit=%v, %v), want (42, false, nil)", v, hit, err)
+	}
+	v, hit, err = l.Do(context.Background(), "k", fn)
+	if err != nil || v != 42 || !hit {
+		t.Fatalf("second Do = (%d, hit=%v, %v), want (42, true, nil)", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := NewLRU[int, int](2)
+	var calls atomic.Int64
+	get := func(k int) {
+		t.Helper()
+		if _, _, err := l.Do(context.Background(), k, func(context.Context) (int, error) {
+			calls.Add(1)
+			return k, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // refresh 1; 2 is now the LRU entry
+	get(3) // evicts 2
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	before := calls.Load()
+	get(1)
+	if calls.Load() != before {
+		t.Fatal("entry 1 was evicted but should have been retained")
+	}
+	get(2)
+	if calls.Load() != before+1 {
+		t.Fatal("entry 2 should have been evicted and recomputed")
+	}
+}
+
+func TestLRUSingleflight(t *testing.T) {
+	l := NewLRU[string, int](4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := l.Do(context.Background(), "k", func(context.Context) (int, error) {
+				calls.Add(1)
+				<-release
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+			hits[i] = hit
+		}(i)
+	}
+	// Give the flight a moment to be claimed, then release everyone.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	nhits := 0
+	for _, h := range hits {
+		if h {
+			nhits++
+		}
+	}
+	if nhits != waiters-1 {
+		t.Fatalf("%d hits, want %d (all but the executor)", nhits, waiters-1)
+	}
+}
+
+func TestLRUFailedCallsAreForgotten(t *testing.T) {
+	l := NewLRU[string, int](4)
+	calls := 0
+	boom := errors.New("boom")
+	fn := func(context.Context) (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, boom
+		}
+		return 9, nil
+	}
+	if _, _, err := l.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := l.Do(context.Background(), "k", fn)
+	if err != nil || v != 9 || hit {
+		t.Fatalf("retry = (%d, hit=%v, %v), want (9, false, nil)", v, hit, err)
+	}
+}
+
+func TestLRUWaiterCancellation(t *testing.T) {
+	l := NewLRU[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go l.Do(context.Background(), "k", func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := l.Do(ctx, "k", func(context.Context) (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestLRUInFlightNotEvicted(t *testing.T) {
+	l := NewLRU[int, int](1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, _, err := l.Do(context.Background(), 1, func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 11, nil
+		})
+		if err != nil || v != 11 {
+			t.Errorf("in-flight Do = (%d, %v)", v, err)
+		}
+	}()
+	<-started
+	// A burst of other keys must not evict the in-flight entry.
+	for k := 2; k < 6; k++ {
+		k := k
+		if _, _, err := l.Do(context.Background(), k, func(context.Context) (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	<-done
+	v, hit, err := l.Do(context.Background(), 1, func(context.Context) (int, error) {
+		return 0, fmt.Errorf("should have been cached")
+	})
+	if err != nil || v != 11 || !hit {
+		t.Fatalf("after flight Do = (%d, hit=%v, %v), want (11, true, nil)", v, hit, err)
+	}
+}
+
+func TestLRUPutAndForget(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Put("k", 5)
+	v, hit, err := l.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, fmt.Errorf("should not run")
+	})
+	if err != nil || v != 5 || !hit {
+		t.Fatalf("Do after Put = (%d, hit=%v, %v)", v, hit, err)
+	}
+	l.Forget("k")
+	v, hit, _ = l.Do(context.Background(), "k", func(context.Context) (int, error) { return 6, nil })
+	if v != 6 || hit {
+		t.Fatalf("Do after Forget = (%d, hit=%v), want (6, false)", v, hit)
+	}
+}
+
+func TestLRUPanicPropagates(t *testing.T) {
+	l := NewLRU[string, int](2)
+	_, _, err := l.Do(context.Background(), "k", func(context.Context) (int, error) { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	// The failed (panicked) entry must be retried, not cached.
+	v, _, err := l.Do(context.Background(), "k", func(context.Context) (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("retry after panic = (%d, %v)", v, err)
+	}
+}

@@ -10,27 +10,15 @@ import (
 	"testing"
 
 	"littleslaw/internal/experiments"
-	"littleslaw/internal/platform"
-	"littleslaw/internal/queueing"
 	"littleslaw/internal/report"
 )
-
-// sklPaperProfile mirrors the SKL curve used by the in-package tests so
-// the determinism check does not pay for an X-Mem characterization.
-func sklPaperProfile(p *platform.Platform) (*queueing.Curve, error) {
-	return queueing.NewCurve([]queueing.CurvePoint{
-		{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 37.9, LatencyNs: 93},
-		{BandwidthGBs: 58.2, LatencyNs: 100}, {BandwidthGBs: 92.9, LatencyNs: 117},
-		{BandwidthGBs: 106.9, LatencyNs: 145}, {BandwidthGBs: 112, LatencyNs: 220},
-	})
-}
 
 func renderTableIV(t *testing.T, workers int) string {
 	t.Helper()
 	r := experiments.NewRunner(experiments.Options{
 		Scale:      0.05,
 		Platforms:  []string{"SKL"},
-		ProfileFor: sklPaperProfile,
+		ProfileFor: experiments.PaperProfileFor,
 		Workers:    workers,
 	})
 	tab, err := r.Table("IV")

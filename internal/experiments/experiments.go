@@ -85,6 +85,10 @@ type Options struct {
 	// A supplied function must be safe for concurrent calls with distinct
 	// platforms (the Runner already deduplicates same-platform calls).
 	ProfileFor func(*platform.Platform) (*queueing.Curve, error)
+	// ProfileForContext is ProfileFor for cancellation-aware sources (a
+	// service looking profiles up through its own request-scoped cache).
+	// When set it takes precedence over ProfileFor.
+	ProfileForContext func(context.Context, *platform.Platform) (*queueing.Curve, error)
 	// Workers bounds how many simulations run concurrently. 0 means
 	// runtime.GOMAXPROCS(0); 1 forces serial execution. Table output is
 	// byte-identical for any worker count.
@@ -285,10 +289,14 @@ func (r *Runner) run(ctx context.Context, w workloads.Workload, p *platform.Plat
 // concurrent requests per platform.
 func (r *Runner) profile(ctx context.Context, p *platform.Platform) (*queueing.Curve, error) {
 	curve, err := r.profiles.Do(ctx, p.Name, func() (*queueing.Curve, error) {
-		if r.opts.ProfileFor != nil {
+		switch {
+		case r.opts.ProfileForContext != nil:
+			return r.opts.ProfileForContext(ctx, p)
+		case r.opts.ProfileFor != nil:
 			return r.opts.ProfileFor(p)
+		default:
+			return xmem.ProfileForContext(ctx, p)
 		}
-		return xmem.ProfileForContext(ctx, p)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: profiling %s: %w", p.Name, err)

@@ -6,34 +6,13 @@ import (
 
 	"littleslaw/internal/core"
 	"littleslaw/internal/platform"
-	"littleslaw/internal/queueing"
 )
 
 // paperProfiles lets the experiment tests run without the (slow) X-Mem
-// characterization: the curves are the paper's published values.
-func paperProfiles(p *platform.Platform) (*queueing.Curve, error) {
-	switch p.Name {
-	case "SKL":
-		return queueing.NewCurve([]queueing.CurvePoint{
-			{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 37.9, LatencyNs: 93},
-			{BandwidthGBs: 58.2, LatencyNs: 100}, {BandwidthGBs: 92.9, LatencyNs: 117},
-			{BandwidthGBs: 106.9, LatencyNs: 145}, {BandwidthGBs: 112, LatencyNs: 220},
-		})
-	case "KNL":
-		return queueing.NewCurve([]queueing.CurvePoint{
-			{BandwidthGBs: 1, LatencyNs: 166}, {BandwidthGBs: 122.9, LatencyNs: 167},
-			{BandwidthGBs: 233, LatencyNs: 180}, {BandwidthGBs: 296, LatencyNs: 209},
-			{BandwidthGBs: 344, LatencyNs: 238}, {BandwidthGBs: 365, LatencyNs: 330},
-		})
-	case "A64FX":
-		return queueing.NewCurve([]queueing.CurvePoint{
-			{BandwidthGBs: 2, LatencyNs: 142}, {BandwidthGBs: 271, LatencyNs: 156},
-			{BandwidthGBs: 575, LatencyNs: 179}, {BandwidthGBs: 649, LatencyNs: 188},
-			{BandwidthGBs: 788, LatencyNs: 280}, {BandwidthGBs: 812, LatencyNs: 330},
-		})
-	}
-	return nil, nil
-}
+// characterization: the curves are the paper's published values
+// (PaperProfileFor, shared with the golden harness and the service's
+// fast-start mode).
+var paperProfiles = PaperProfileFor
 
 func fastRunner() *Runner {
 	return NewRunner(Options{Scale: 0.1, ProfileFor: paperProfiles})

@@ -1,0 +1,94 @@
+package experiments_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"littleslaw/internal/experiments"
+	"littleslaw/internal/report"
+)
+
+var (
+	updateGolden  = flag.Bool("update", false, "rewrite the golden table fixtures from this run")
+	goldenWorkers = flag.Int("golden-workers", 0, "worker count for the golden regeneration (0 = GOMAXPROCS); output must not depend on it")
+)
+
+// goldenScale keeps the six-table regeneration affordable in CI (~3 min
+// single-core; the fixed per-run simulator cost dominates below this).
+// The fixtures encode the full pipeline — simulation, Equation 2, limiter
+// attribution — at this scale; bump it only together with -update.
+const goldenScale = 0.05
+
+// goldenRunner builds the deterministic pipeline the fixtures were made
+// with: published anchor profiles instead of a fresh X-Mem characterization,
+// so the run measures the simulator and analysis, not the profiler.
+func goldenRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{
+		Scale:      goldenScale,
+		Workers:    *goldenWorkers,
+		ProfileFor: experiments.PaperProfileFor,
+	})
+}
+
+// renderTable produces the committed fixture form: the human-readable
+// table followed by its CSV, so a diff shows both alignment and raw values.
+func renderTable(t *testing.T, tbl *experiments.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := report.WriteTable(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n")
+	if err := report.WriteTableCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTables regenerates all six paper tables and compares them
+// byte-for-byte against committed fixtures. Run with -update (and optionally
+// -golden-workers N) to refresh the fixtures after an intentional change:
+//
+//	go test ./internal/experiments -run TestGoldenTables -args -update
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration is a multi-minute run")
+	}
+	r := goldenRunner()
+	tables, err := r.AllTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := experiments.TableIDs()
+	if len(tables) != len(ids) {
+		t.Fatalf("AllTables returned %d tables, want %d", len(tables), len(ids))
+	}
+	for i, tbl := range tables {
+		if tbl.ID != ids[i] {
+			t.Fatalf("table %d has ID %s, want %s", i, tbl.ID, ids[i])
+		}
+		got := renderTable(t, tbl)
+		path := filepath.Join("testdata", "golden", "table_"+tbl.ID+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing fixture %s (regenerate with -args -update): %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("table %s diverges from %s\n--- got ---\n%s\n--- want ---\n%s",
+				tbl.ID, path, got, want)
+		}
+	}
+}

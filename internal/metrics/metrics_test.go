@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.5 + 0.5 + 5 + 50; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "handler", "code")
+	v.With("analyze", "200").Inc()
+	v.With("analyze", "200").Inc()
+	v.With("analyze", "400").Inc()
+	if got := v.With("analyze", "200").Value(); got != 2 {
+		t.Fatalf("analyze/200 = %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `req_total{handler="analyze",code="200"} 2`) {
+		t.Errorf("missing labeled counter:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{handler="analyze",code="400"} 1`) {
+		t.Errorf("missing labeled counter:\n%s", out)
+	}
+}
+
+func TestHistogramVecPromOutput(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("lat_seconds", "latency", []float64{1}, "handler")
+	v.With("a").Observe(0.5)
+	v.With("a").Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{handler="a",le="1"} 1`,
+		`lat_seconds_bucket{handler="a",le="+Inf"} 2`,
+		`lat_seconds_count{handler="a"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLittleConcurrency pins the paper's law applied to the service
+// itself: with 10 completed requests of 0.2 s each over a 4 s window,
+// λ = 2.5/s, W = 0.2 s, so L = λ·W = 0.5.
+func TestLittleConcurrency(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("lat_seconds", "latency", nil, "handler")
+	for i := 0; i < 10; i++ {
+		v.With("analyze").Observe(0.2)
+	}
+	r.now = func() time.Time { return r.start.Add(4 * time.Second) }
+	if got := r.LittleConcurrency(v); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("LittleConcurrency = %g, want 0.5", got)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "second")
+}
+
+func TestDerived(t *testing.T) {
+	r := NewRegistry()
+	r.Derived("d", "derived", func() float64 { return 1.5 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "d 1.5") {
+		t.Errorf("missing derived value:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,130 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNewCurveRejectsBadPoints covers the hostile inputs a curve can be
+// built from when profiles arrive over the wire rather than from X-Mem.
+func TestNewCurveRejectsBadPoints(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []CurvePoint
+	}{
+		{"empty", nil},
+		{"negative bandwidth", []CurvePoint{{BandwidthGBs: -1, LatencyNs: 80}}},
+		{"nan bandwidth", []CurvePoint{{BandwidthGBs: math.NaN(), LatencyNs: 80}}},
+		{"inf bandwidth", []CurvePoint{{BandwidthGBs: math.Inf(1), LatencyNs: 80}}},
+		{"zero latency", []CurvePoint{{BandwidthGBs: 1, LatencyNs: 0}}},
+		{"negative latency", []CurvePoint{{BandwidthGBs: 1, LatencyNs: -3}}},
+		{"nan latency", []CurvePoint{{BandwidthGBs: 1, LatencyNs: math.NaN()}}},
+		{"inf latency", []CurvePoint{{BandwidthGBs: 1, LatencyNs: math.Inf(1)}}},
+		{"bad point among good", []CurvePoint{
+			{BandwidthGBs: 0, LatencyNs: 80},
+			{BandwidthGBs: math.NaN(), LatencyNs: 90},
+			{BandwidthGBs: 10, LatencyNs: 100},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if c, err := NewCurve(tc.pts); err == nil {
+				t.Fatalf("NewCurve accepted %v: %+v", tc.pts, c.Points())
+			}
+		})
+	}
+}
+
+// TestSinglePointCurve: a one-sample profile must behave as a flat curve.
+func TestSinglePointCurve(t *testing.T) {
+	c := MustCurve([]CurvePoint{{BandwidthGBs: 10, LatencyNs: 120}})
+	for _, bw := range []float64{0, 5, 10, 1e6, math.Inf(1)} {
+		if got := c.LatencyAt(bw); got != 120 {
+			t.Fatalf("LatencyAt(%v) = %v, want 120", bw, got)
+		}
+	}
+	if c.IdleLatencyNs() != 120 || c.MaxBandwidthGBs() != 10 {
+		t.Fatalf("idle/max = %v/%v", c.IdleLatencyNs(), c.MaxBandwidthGBs())
+	}
+	bw, lat := c.SolveEquilibrium(4, 64)
+	// 4 lines × 64 B / 120 ns = 2.133 GB/s, below the 10 GB/s peak.
+	if want := 4 * 64 / 120.0; math.Abs(bw-want) > 1e-6 || lat != 120 {
+		t.Fatalf("SolveEquilibrium = %v GB/s @ %v ns, want %v @ 120", bw, lat, want)
+	}
+}
+
+// TestZeroBandwidthCurve: a curve whose first sample sits at 0 GB/s is
+// valid (the idle-latency anchor) and queries at 0 return it.
+func TestZeroBandwidthCurve(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{BandwidthGBs: 0, LatencyNs: 81},
+		{BandwidthGBs: 100, LatencyNs: 200},
+	})
+	if got := c.LatencyAt(0); got != 81 {
+		t.Fatalf("LatencyAt(0) = %v, want 81", got)
+	}
+	if got := c.LatencyAt(50); math.Abs(got-140.5) > 1e-9 {
+		t.Fatalf("LatencyAt(50) = %v, want 140.5", got)
+	}
+	if got := c.LatencyAt(-5); got != 81 {
+		t.Fatalf("LatencyAt(-5) = %v, want idle 81", got)
+	}
+}
+
+// TestLatencyAtNaN: a NaN query must propagate, not panic (sort.Search
+// used to run off the end of the sample slice).
+func TestLatencyAtNaN(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{BandwidthGBs: 0, LatencyNs: 81},
+		{BandwidthGBs: 50, LatencyNs: 120},
+		{BandwidthGBs: 100, LatencyNs: 200},
+	})
+	if got := c.LatencyAt(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("LatencyAt(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestSolveEquilibriumDegenerateN: non-positive and NaN concurrency idles.
+func TestSolveEquilibriumDegenerateN(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{BandwidthGBs: 0, LatencyNs: 81},
+		{BandwidthGBs: 100, LatencyNs: 200},
+	})
+	for _, n := range []float64{0, -3, math.NaN()} {
+		bw, lat := c.SolveEquilibrium(n, 64)
+		if bw != 0 || lat != 81 {
+			t.Fatalf("SolveEquilibrium(%v) = %v GB/s @ %v ns, want 0 @ 81", n, bw, lat)
+		}
+	}
+}
+
+// TestDuplicateBandwidthsAveraged documents the jitter-smoothing contract.
+func TestDuplicateBandwidthsAveraged(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{BandwidthGBs: 10, LatencyNs: 100},
+		{BandwidthGBs: 10, LatencyNs: 110},
+		{BandwidthGBs: 20, LatencyNs: 130},
+	})
+	pts := c.Points()
+	if len(pts) != 2 || pts[0].LatencyNs != 105 {
+		t.Fatalf("points = %+v, want first merged to 105 ns", pts)
+	}
+}
+
+// TestNonMonotoneLatencyClamped: latency dips are raised to the running max.
+func TestNonMonotoneLatencyClamped(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{BandwidthGBs: 0, LatencyNs: 100},
+		{BandwidthGBs: 10, LatencyNs: 90}, // jitter dip
+		{BandwidthGBs: 20, LatencyNs: 150},
+	})
+	pts := c.Points()
+	if pts[1].LatencyNs != 100 {
+		t.Fatalf("dip not clamped: %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LatencyNs < pts[i-1].LatencyNs {
+			t.Fatalf("latency not monotone: %+v", pts)
+		}
+	}
+}

@@ -181,7 +181,9 @@ func NewCurve(pts []CurvePoint) (*Curve, error) {
 	sort.Slice(cp, func(i, j int) bool { return cp[i].BandwidthGBs < cp[j].BandwidthGBs })
 	out := cp[:0]
 	for _, p := range cp {
-		if p.BandwidthGBs < 0 || p.LatencyNs <= 0 || math.IsNaN(p.LatencyNs) || math.IsInf(p.LatencyNs, 0) {
+		// !(x >= 0) rather than x < 0 so NaN bandwidths are rejected too.
+		if !(p.BandwidthGBs >= 0) || math.IsInf(p.BandwidthGBs, 0) ||
+			!(p.LatencyNs > 0) || math.IsInf(p.LatencyNs, 0) {
 			return nil, fmt.Errorf("queueing: invalid curve point %+v", p)
 		}
 		if n := len(out); n > 0 && out[n-1].BandwidthGBs == p.BandwidthGBs {
@@ -227,9 +229,13 @@ func (c *Curve) MaxBandwidthGBs() float64 { return c.points[len(c.points)-1].Ban
 // at or beyond the last sample it returns the last sampled latency — the
 // characterization cannot observe past the achievable peak, and the
 // near-vertical final segment would otherwise explode Equation 2 for
-// routines running right at that peak.
+// routines running right at that peak. A NaN query propagates as NaN
+// rather than picking an arbitrary sample.
 func (c *Curve) LatencyAt(bwGBs float64) float64 {
 	pts := c.points
+	if math.IsNaN(bwGBs) {
+		return math.NaN()
+	}
 	if bwGBs <= pts[0].BandwidthGBs {
 		return pts[0].LatencyNs
 	}
@@ -253,7 +259,7 @@ func (c *Curve) LatencyAt(bwGBs float64) float64 {
 // lat(BW) is non-decreasing, the residual n×lineSize/lat(BW) − BW is
 // strictly decreasing in BW, so bisection always converges.
 func (c *Curve) SolveEquilibrium(n float64, lineSize int) (bwGBs, latNs float64) {
-	if n <= 0 {
+	if !(n > 0) { // n ≤ 0 or NaN: nothing in flight, the memory idles
 		return 0, c.IdleLatencyNs()
 	}
 	demand := func(bw float64) float64 { return n * float64(lineSize) / c.LatencyAt(bw) }

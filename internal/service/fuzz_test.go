@@ -1,0 +1,88 @@
+package service
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the three request decoders.
+// Decoders must never panic, and every request they accept must satisfy the
+// invariants the handlers rely on (so handlers never re-validate).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"platform":"SKL","measurement":{"bandwidth_gbs":12.5,"routine":"copy"}}`))
+	f.Add([]byte(`{"platform":"KNL","workload":"ISx","scale":0.1,"threads_per_core":2}`))
+	f.Add([]byte(`{"platform":"A64FX","workload":"MiniGhost","variant":{"sw_prefetch_l2":true,"prefetch_distance":8}}`))
+	f.Add([]byte(`{"platform":"SKL"}`))
+	f.Add([]byte(`{"platform":"SKL","workload":"ISx","max_steps":4,"accept_threshold":1.05,"user_intuition":true}`))
+	f.Add([]byte(`{"platform":"SKL","measurement":{"bandwidth_gbs":1e999}}`))
+	f.Add([]byte(`{"platform":"SKL","workload":"ISx"} trailing`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := DecodeAnalyzeRequest(data); err == nil {
+			if r == nil {
+				t.Fatal("analyze: nil request with nil error")
+			}
+			if r.Platform == "" {
+				t.Fatal("analyze: accepted empty platform")
+			}
+			if (r.Workload == "") == (r.Measurement == nil) {
+				t.Fatalf("analyze: accepted ambiguous source: %+v", r)
+			}
+			if m := r.Measurement; m != nil {
+				if math.IsNaN(m.BandwidthGBs) || math.IsInf(m.BandwidthGBs, 0) || m.BandwidthGBs < 0 {
+					t.Fatalf("analyze: accepted bandwidth %v", m.BandwidthGBs)
+				}
+				meas := m.Measurement()
+				if meas.ThreadsPerCore < 1 {
+					t.Fatalf("analyze: measurement defaulted to %d threads/core", meas.ThreadsPerCore)
+				}
+			} else {
+				if r.Scale != 0 && (r.Scale <= 0 || r.Scale > 1 || math.IsNaN(r.Scale)) {
+					t.Fatalf("analyze: accepted scale %v", r.Scale)
+				}
+				if r.ThreadsPerCore < 0 || r.ThreadsPerCore > 8 {
+					t.Fatalf("analyze: accepted threads_per_core %d", r.ThreadsPerCore)
+				}
+			}
+		}
+		if r, err := DecodeCharacterizeRequest(data); err == nil {
+			if r == nil || r.Platform == "" {
+				t.Fatalf("characterize: accepted %+v", r)
+			}
+		}
+		if r, err := DecodeTuneRequest(data); err == nil {
+			if r == nil || r.Platform == "" || r.Workload == "" {
+				t.Fatalf("tune: accepted %+v", r)
+			}
+			if r.Scale != 0 && (r.Scale <= 0 || r.Scale > 1 || math.IsNaN(r.Scale)) {
+				t.Fatalf("tune: accepted scale %v", r.Scale)
+			}
+		}
+	})
+}
+
+// FuzzNormalizeTableID checks that arbitrary path segments either map to one
+// of the six canonical table IDs or are rejected.
+func FuzzNormalizeTableID(f *testing.F) {
+	canonical := map[string]bool{"IV": true, "V": true, "VI": true, "VII": true, "VIII": true, "IX": true}
+	for id := range canonical {
+		f.Add(id)
+	}
+	f.Add("T4")
+	f.Add("t9")
+	f.Add(" iv ")
+	f.Add("X")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, id string) {
+		got, err := NormalizeTableID(id)
+		if err != nil {
+			return
+		}
+		if !canonical[got] {
+			t.Fatalf("NormalizeTableID(%q) = %q, not a canonical table", id, got)
+		}
+	})
+}

@@ -1,0 +1,601 @@
+// Package service puts the Little's-Law analysis pipeline behind a
+// long-running HTTP JSON API — analysis as a service rather than a
+// one-shot CLI. It exposes the facade's verbs (/v1/platforms,
+// /v1/characterize, /v1/analyze, /v1/advise, /v1/tune, /v1/tables/{id})
+// on top of the concurrent engine, with LRU+singleflight caches for the
+// expensive once-per-platform profiles and per-(table, scale) results,
+// per-request timeouts propagated through context, and an instrumentation
+// registry at /metrics.
+//
+// The service practices what the paper preaches: /metrics derives the
+// server's own average request concurrency via Little's Law
+// (L = λ·W = latency_sum/uptime) next to the directly sampled in-flight
+// gauge, so the law can be checked against the system that computes it.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"littleslaw/internal/autotune"
+	"littleslaw/internal/core"
+	"littleslaw/internal/engine"
+	"littleslaw/internal/experiments"
+	"littleslaw/internal/metrics"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/sim"
+	"littleslaw/internal/workloads"
+	"littleslaw/internal/xmem"
+)
+
+// Config tunes a Server. The zero value serves the honest pipeline with
+// production defaults.
+type Config struct {
+	// DefaultTimeout bounds a request when the client does not pass
+	// ?timeout=; 0 means 5m (characterizations and full-scale tables are
+	// legitimately slow).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts; 0 means 30m.
+	MaxTimeout time.Duration
+	// Workers bounds per-request simulation concurrency (0 = GOMAXPROCS).
+	Workers int
+	// ProfileCacheSize bounds the per-platform profile cache (0 = 8).
+	ProfileCacheSize int
+	// TableCacheSize bounds the per-(table, scale) result cache (0 = 32).
+	TableCacheSize int
+	// RunnerCacheSize bounds the per-scale experiment runners, whose
+	// simulation caches let the six tables of one scale share runs
+	// (0 = 4).
+	RunnerCacheSize int
+	// ProfileFor overrides the X-Mem characterization as the profile
+	// source (tests; the llserved -paper-profiles mode). It must honor
+	// ctx if it blocks, or request timeouts cannot interrupt it.
+	ProfileFor func(context.Context, *platform.Platform) (*queueing.Curve, error)
+	// Platforms restricts table regeneration to the named machines
+	// (nil = all three; tests use one platform for speed).
+	Platforms []string
+	// Registry receives the service metrics (nil = a fresh registry).
+	Registry *metrics.Registry
+}
+
+func (c *Config) normalize() {
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.ProfileCacheSize == 0 {
+		c.ProfileCacheSize = 8
+	}
+	if c.TableCacheSize == 0 {
+		c.TableCacheSize = 32
+	}
+	if c.RunnerCacheSize == 0 {
+		c.RunnerCacheSize = 4
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+}
+
+// tableKey identifies one cached table regeneration.
+type tableKey struct {
+	id    string
+	scale float64
+}
+
+// Server is the analysis service. Construct with New; its Handler is safe
+// for concurrent use.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	profiles *engine.LRU[string, *queueing.Curve]
+	tables   *engine.LRU[tableKey, *experiments.Table]
+	runners  *engine.LRU[float64, *experiments.Runner]
+
+	requests    *metrics.CounterVec
+	latency     *metrics.HistogramVec
+	inflight    *metrics.Gauge
+	cacheEvents *metrics.CounterVec
+
+	mux *http.ServeMux
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		profiles: engine.NewLRU[string, *queueing.Curve](cfg.ProfileCacheSize),
+		tables:   engine.NewLRU[tableKey, *experiments.Table](cfg.TableCacheSize),
+		runners:  engine.NewLRU[float64, *experiments.Runner](cfg.RunnerCacheSize),
+	}
+	s.requests = s.reg.CounterVec("llserved_requests_total",
+		"Completed HTTP requests by handler and status code.", "handler", "code")
+	s.latency = s.reg.HistogramVec("llserved_request_seconds",
+		"Request latency by handler.", nil, "handler")
+	s.inflight = s.reg.Gauge("llserved_inflight_requests",
+		"Requests currently being served (the directly sampled occupancy).")
+	s.cacheEvents = s.reg.CounterVec("llserved_cache_events_total",
+		"Cache lookups by cache and outcome.", "cache", "event")
+	s.reg.Derived("llserved_littles_law_concurrency",
+		"The server's own n_avg from Little's Law: request latency_sum over uptime "+
+			"(Equation 1 applied to the service; compare llserved_inflight_requests).",
+		func() float64 { return s.reg.LittleConcurrency(s.latency) })
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	s.mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	s.mux.Handle("GET /v1/platforms", s.instrument("platforms", s.handlePlatforms))
+	s.mux.Handle("POST /v1/characterize", s.instrument("characterize", s.handleCharacterize))
+	s.mux.Handle("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.Handle("POST /v1/advise", s.instrument("advise", s.handleAdvise))
+	s.mux.Handle("POST /v1/tune", s.instrument("tune", s.handleTune))
+	s.mux.Handle("GET /v1/tables/{id}", s.instrument("tables", s.handleTable))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry serving /metrics.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// httpError carries a status code chosen at the failure site.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func failWith(status int, err error) error { return &httpError{status: status, err: err} }
+
+// instrument wraps a handler with the per-request envelope: timeout
+// context, in-flight gauge, latency histogram and request counter.
+func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+
+		ctx, cancel, err := s.requestContext(r)
+		if err != nil {
+			s.finish(name, start, s.writeError(w, r, failWith(http.StatusBadRequest, err)))
+			return
+		}
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		sw := &statusWriter{ResponseWriter: w}
+		if err := fn(sw, r); err != nil {
+			if sw.status != 0 {
+				// The handler already started writing; nothing to salvage.
+				s.finish(name, start, sw.status)
+				return
+			}
+			s.finish(name, start, s.writeError(w, r, err))
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.finish(name, start, status)
+	})
+}
+
+func (s *Server) finish(name string, start time.Time, status int) {
+	s.requests.With(name, strconv.Itoa(status)).Inc()
+	s.latency.With(name).Observe(time.Since(start).Seconds())
+}
+
+// requestContext derives the per-request deadline: ?timeout=30s overrides
+// the default, capped at the configured maximum.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil || parsed <= 0 {
+			return nil, nil, fmt.Errorf("invalid timeout %q", v)
+		}
+		d = min(parsed, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// writeError maps an error to a status code, writes the JSON envelope and
+// returns the code. Context expiry wins over whatever the pipeline
+// reported, so a timed-out request is a 504 regardless of which layer
+// noticed first.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) int {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 in the nginx tradition (never reaches the
+		// client, but the metrics distinguish it from server faults).
+		status = 499
+	case errors.As(err, &he):
+		status = he.status
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	return status
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// statusWriter records the first status code written.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
+	if err != nil {
+		return nil, failWith(http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+	}
+	return data, nil
+}
+
+// ---- profile and table plumbing ----
+
+// profile returns the platform's bandwidth→latency curve through the
+// LRU+singleflight cache, recording hit/miss metrics.
+func (s *Server) profile(ctx context.Context, p *platform.Platform) (*queueing.Curve, bool, error) {
+	curve, hit, err := s.profiles.Do(ctx, p.Name, func(ctx context.Context) (*queueing.Curve, error) {
+		if s.cfg.ProfileFor != nil {
+			return s.cfg.ProfileFor(ctx, p)
+		}
+		return xmem.CharacterizeContext(ctx, p, xmem.Options{Workers: s.cfg.Workers})
+	})
+	s.cacheEvent("profile", hit)
+	if err != nil {
+		return nil, hit, fmt.Errorf("characterizing %s: %w", p.Name, err)
+	}
+	return curve, hit, nil
+}
+
+// runner returns the per-scale experiments runner (whose internal caches
+// make the six tables of one scale share simulations).
+func (s *Server) runner(ctx context.Context, scale float64) (*experiments.Runner, error) {
+	r, hit, err := s.runners.Do(ctx, scale, func(context.Context) (*experiments.Runner, error) {
+		return experiments.NewRunner(experiments.Options{
+			Scale:     scale,
+			Workers:   s.cfg.Workers,
+			Platforms: s.cfg.Platforms,
+			ProfileForContext: func(ctx context.Context, p *platform.Platform) (*queueing.Curve, error) {
+				curve, _, err := s.profile(ctx, p)
+				return curve, err
+			},
+		}), nil
+	})
+	s.cacheEvent("runner", hit)
+	return r, err
+}
+
+// Warm characterizes (and caches) the named platform's profile ahead of
+// traffic, reporting whether it was already cached.
+func (s *Server) Warm(ctx context.Context, platformName string) (bool, error) {
+	p, err := platform.ByName(platformName)
+	if err != nil {
+		return false, err
+	}
+	_, hit, err := s.profile(ctx, p)
+	return hit, err
+}
+
+func (s *Server) cacheEvent(cache string, hit bool) {
+	event := "miss"
+	if hit {
+		event = "hit"
+	}
+	s.cacheEvents.With(cache, event).Inc()
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) error {
+	var out []PlatformJSON
+	for _, p := range platform.All() {
+		out = append(out, PlatformJSON{
+			Name:      p.Name,
+			Vendor:    p.Vendor,
+			ISA:       p.ISA,
+			Cores:     p.Cores,
+			SMTWays:   p.SMTWays,
+			FreqGHz:   p.FreqHz / 1e9,
+			LineBytes: p.LineBytes,
+			PeakGBs:   p.PeakGBs(),
+			L1MSHRs:   p.L1.MSHRs,
+			L2MSHRs:   p.L2.MSHRs,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	req, err := DecodeCharacterizeRequest(body)
+	if err != nil {
+		return failWith(http.StatusBadRequest, err)
+	}
+	p, err := platform.ByName(req.Platform)
+	if err != nil {
+		return failWith(http.StatusNotFound, err)
+	}
+	curve, cached, err := s.profile(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	resp := CharacterizeResponse{Platform: p.Name, LineBytes: p.LineBytes, Cached: cached}
+	for _, pt := range curve.Points() {
+		resp.Points = append(resp.Points, PointJSON{BandwidthGBs: pt.BandwidthGBs, LatencyNs: pt.LatencyNs})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// resolveAnalyze turns an AnalyzeRequest into (platform, measurement,
+// optional run, optional workload) — running the simulation when the
+// request names a workload instead of supplying counters.
+func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*platform.Platform, core.Measurement, *sim.Result, workloads.Workload, error) {
+	p, err := platform.ByName(req.Platform)
+	if err != nil {
+		return nil, core.Measurement{}, nil, nil, failWith(http.StatusNotFound, err)
+	}
+	if req.Measurement != nil {
+		return p, req.Measurement.Measurement(), nil, nil, nil
+	}
+	w, ok := workloads.ByName(req.Workload)
+	if !ok {
+		return nil, core.Measurement{}, nil, nil, failWith(http.StatusNotFound,
+			fmt.Errorf("unknown workload %q", req.Workload))
+	}
+	w = w.WithVariant(req.Variant.Variant())
+	threads := req.ThreadsPerCore
+	if threads == 0 {
+		threads = 1
+	}
+	if threads > p.SMTWays {
+		return nil, core.Measurement{}, nil, nil, failWith(http.StatusBadRequest,
+			fmt.Errorf("platform %s supports at most %d threads per core", p.Name, p.SMTWays))
+	}
+	scale := req.Scale
+	if scale == 0 {
+		scale = 0.1
+	}
+	res, err := sim.RunContext(ctx, w.Config(p, threads, scale))
+	if err != nil {
+		return nil, core.Measurement{}, nil, nil, err
+	}
+	m := core.Measurement{
+		Routine:                w.Routine(),
+		BandwidthGBs:           res.TotalGBs,
+		ActiveCores:            res.Cores,
+		ThreadsPerCore:         res.ThreadsPerCore,
+		PrefetchedReadFraction: res.PrefetchedReadFraction,
+		RandomAccess:           w.RandomAccess(),
+	}
+	return p, m, res, w, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	req, err := DecodeAnalyzeRequest(body)
+	if err != nil {
+		return failWith(http.StatusBadRequest, err)
+	}
+	p, m, res, _, err := s.resolveAnalyze(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	profile, _, err := s.profile(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Analyze(p, profile, m)
+	if err != nil {
+		return failWith(http.StatusBadRequest, err)
+	}
+	resp := AnalyzeResponse{Report: reportJSON(rep), Explanation: core.Explain(rep)}
+	if res != nil {
+		resp.Run = runJSON(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	req, err := DecodeAnalyzeRequest(body)
+	if err != nil {
+		return failWith(http.StatusBadRequest, err)
+	}
+	p, m, _, wl, err := s.resolveAnalyze(r.Context(), req)
+	if err != nil {
+		return err
+	}
+	profile, _, err := s.profile(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Analyze(p, profile, m)
+	if err != nil {
+		return failWith(http.StatusBadRequest, err)
+	}
+	caps := core.Capabilities{SMTWays: p.SMTWays, CurrentThreads: m.ThreadsPerCore, IrregularAccess: m.RandomAccess}
+	if wl != nil {
+		caps = wl.Capabilities(p, m.ThreadsPerCore)
+	}
+	resp := AdviseResponse{Report: reportJSON(rep), Explanation: core.Explain(rep)}
+	for _, a := range core.Advise(rep, caps) {
+		resp.Advice = append(resp.Advice, AdviceJSON{
+			Optimization: a.Opt.String(),
+			Stance:       a.Stance.String(),
+			Reason:       a.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) error {
+	body, err := readBody(r)
+	if err != nil {
+		return err
+	}
+	req, err := DecodeTuneRequest(body)
+	if err != nil {
+		return failWith(http.StatusBadRequest, err)
+	}
+	p, err := platform.ByName(req.Platform)
+	if err != nil {
+		return failWith(http.StatusNotFound, err)
+	}
+	wl, ok := workloads.ByName(req.Workload)
+	if !ok {
+		return failWith(http.StatusNotFound, fmt.Errorf("unknown workload %q", req.Workload))
+	}
+	profile, _, err := s.profile(r.Context(), p)
+	if err != nil {
+		return err
+	}
+	res, err := autotune.TuneContext(r.Context(), p, profile, wl, autotune.Options{
+		Scale:           req.Scale,
+		MaxSteps:        req.MaxSteps,
+		AcceptThreshold: req.AcceptThreshold,
+		UserIntuition:   req.UserIntuition,
+		Workers:         s.cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	resp := TuneResponse{
+		Workload:     res.Workload,
+		Platform:     res.Platform,
+		FinalSource:  res.FinalVariant.Label(res.FinalThreads),
+		TotalSpeedup: res.TotalSpeedup,
+		FinalReport:  reportJSON(res.FinalReport),
+	}
+	for _, st := range res.Steps {
+		resp.Steps = append(resp.Steps, TuneStepJSON{
+			Tried:    st.Tried.String(),
+			Speedup:  st.Speedup,
+			Accepted: st.Accepted,
+			Report:   reportJSON(st.Report),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) error {
+	id, err := NormalizeTableID(r.PathValue("id"))
+	if err != nil {
+		return failWith(http.StatusNotFound, err)
+	}
+	scale := 1.0
+	if v := r.URL.Query().Get("scale"); v != "" {
+		parsed, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			return failWith(http.StatusBadRequest, fmt.Errorf("invalid scale %q", v))
+		}
+		if err := validateScale(parsed); err != nil || parsed == 0 {
+			return failWith(http.StatusBadRequest, fmt.Errorf("scale must be in (0, 1]"))
+		}
+		scale = parsed
+	}
+	tab, cached, err := s.tables.Do(r.Context(), tableKey{id: id, scale: scale},
+		func(ctx context.Context) (*experiments.Table, error) {
+			runner, err := s.runner(ctx, scale)
+			if err != nil {
+				return nil, err
+			}
+			return runner.TableContext(ctx, id)
+		})
+	s.cacheEvent("table", cached)
+	if err != nil {
+		return err
+	}
+	resp := TableResponse{ID: tab.ID, Workload: tab.Workload, Routine: tab.Routine, Scale: scale, Cached: cached}
+	for _, row := range tab.Rows {
+		jr := TableRowJSON{
+			Platform:     row.Platform,
+			Source:       row.Source,
+			Threads:      row.Threads,
+			BWGBs:        row.BWGBs,
+			PeakPct:      row.PeakPct,
+			LatNs:        row.LatNs,
+			Occupancy:    row.Occ,
+			TrueL1Occ:    row.TrueL1Occ,
+			TrueL2Occ:    row.TrueL2Occ,
+			NextOpt:      row.NextOpt,
+			Speedup:      row.Speedup,
+			PaperBW:      row.PaperBW,
+			PaperOcc:     row.PaperOcc,
+			PaperSpeedup: row.PaperSpeedup,
+		}
+		if row.NextOpt != "" {
+			jr.Stance = row.Stance.String()
+		}
+		resp.Rows = append(resp.Rows, jr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -1,0 +1,95 @@
+package tracefile
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"littleslaw/internal/cpu"
+	"littleslaw/internal/memsys"
+)
+
+// validTrace builds a well-formed trace so the fuzzer starts from inputs
+// that exercise the record loop, not just header rejection.
+func validTrace(t testing.TB, ops []cpu.Op) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{LineBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := w.Write(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParse feeds arbitrary bytes through the trace reader. The reader must
+// never panic, must reject anything that is not a valid trace with an error,
+// and every record it does accept must survive a write→read round trip
+// unchanged (the on-disk quantization is exact once applied).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LLTRACE1"))
+	f.Add(validTrace(f, nil))
+	f.Add(validTrace(f, []cpu.Op{
+		{Kind: memsys.Load, Addr: 0x1000, GapCycles: 3, Work: 1},
+		{Kind: memsys.Store, Addr: 0xffff_ffff_ffff_ffc0, Barrier: true},
+		{Kind: memsys.PrefetchL2, Addr: 64, Async: true, GapCycles: 4095.9375},
+	}))
+	// Truncated record and bad line size.
+	f.Add(append(validTrace(f, nil), 0x00, 0x00, 0x01))
+	f.Add([]byte("LLTRACE1\x03\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if lb := r.Header.LineBytes; lb <= 0 || lb&(lb-1) != 0 {
+			t.Fatalf("reader accepted invalid line size %d", lb)
+		}
+		var ops []cpu.Op
+		for {
+			op, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // malformed tail is fine, as long as it is reported
+			}
+			if op.Kind > memsys.PrefetchL1 {
+				t.Fatalf("reader accepted invalid kind %d", op.Kind)
+			}
+			if math.IsNaN(op.GapCycles) || op.GapCycles < 0 || math.IsNaN(op.Work) || op.Work < 0 {
+				t.Fatalf("reader produced non-finite timing: %+v", op)
+			}
+			ops = append(ops, op)
+		}
+
+		// Round trip: accepted records re-encode and re-read identically.
+		again := validTrace(t, ops)
+		rr, err := NewReader(bytes.NewReader(again))
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		for i, want := range ops {
+			got, err := rr.Read()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("record %d round trip: got %+v want %+v", i, got, want)
+			}
+		}
+		if _, err := rr.Read(); err != io.EOF {
+			t.Fatalf("expected EOF after %d records, got %v", len(ops), err)
+		}
+	})
+}

@@ -133,6 +133,12 @@ func (t *Reader) Read() (cpu.Op, error) {
 		}
 		return cpu.Op{}, err
 	}
+	// Only externally-visible kinds are valid on the wire; hardware
+	// prefetches are generated inside the simulated hierarchy, never
+	// presented to it.
+	if rec[0] > byte(memsys.PrefetchL1) {
+		return cpu.Op{}, fmt.Errorf("tracefile: invalid op kind %d", rec[0])
+	}
 	op := cpu.Op{
 		Kind:      memsys.Kind(rec[0]),
 		Barrier:   rec[1]&1 != 0,

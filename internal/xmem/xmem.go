@@ -263,7 +263,9 @@ func (pr *Profile) WriteJSON(w io.Writer) error {
 	return enc.Encode(pr)
 }
 
-// ReadJSON deserializes a profile.
+// ReadJSON deserializes and validates a profile: the points must form a
+// legal curve (finite, positive latencies) and the line size, if present,
+// must be positive — profiles may arrive from untrusted files.
 func ReadJSON(r io.Reader) (*Profile, error) {
 	var pr Profile
 	if err := json.NewDecoder(r).Decode(&pr); err != nil {
@@ -271,6 +273,12 @@ func ReadJSON(r io.Reader) (*Profile, error) {
 	}
 	if len(pr.Points) == 0 {
 		return nil, fmt.Errorf("xmem: profile has no points")
+	}
+	if pr.LineBytes < 0 {
+		return nil, fmt.Errorf("xmem: invalid line size %d", pr.LineBytes)
+	}
+	if _, err := queueing.NewCurve(pr.Points); err != nil {
+		return nil, fmt.Errorf("xmem: invalid profile: %w", err)
 	}
 	sort.Slice(pr.Points, func(i, j int) bool { return pr.Points[i].BandwidthGBs < pr.Points[j].BandwidthGBs })
 	return &pr, nil

@@ -90,6 +90,18 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	if _, err := ReadJSON(strings.NewReader(`{"platform":"X","points":[]}`)); err == nil {
 		t.Fatal("empty profile accepted")
 	}
+	if _, err := ReadJSON(strings.NewReader(`{"platform":"X","line_bytes":-64,"points":[{"BandwidthGBs":1,"LatencyNs":80}]}`)); err == nil {
+		t.Fatal("negative line size accepted")
+	}
+	for _, bad := range []string{
+		`{"platform":"X","points":[{"BandwidthGBs":-1,"LatencyNs":80}]}`,
+		`{"platform":"X","points":[{"BandwidthGBs":1,"LatencyNs":0}]}`,
+		`{"platform":"X","points":[{"BandwidthGBs":1,"LatencyNs":1e999}]}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+			t.Fatalf("invalid profile accepted: %s", bad)
+		}
+	}
 }
 
 func TestProfileForCaches(t *testing.T) {

@@ -149,6 +149,9 @@ func Roofline(p *PlatformSpec, profile *Curve) (*RooflineModel, error) {
 	return roofline.New(p, profile)
 }
 
+// TableIDs lists the regenerable paper tables ("IV".."IX") in paper order.
+func TableIDs() []string { return experiments.TableIDs() }
+
 // RegenerateTable reproduces one of the paper's simulated tables
 // ("IV".."IX") at the given work scale (1.0 = full size).
 func RegenerateTable(id string, scale float64) (*experiments.Table, error) {

@@ -1,6 +1,7 @@
 package littleslaw
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -70,6 +71,46 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("roofline ceilings = %d", len(m.Ceilings))
 	}
 }
+
+func TestFacadeTableIDs(t *testing.T) {
+	ids := TableIDs()
+	want := []string{"IV", "V", "VI", "VII", "VIII", "IX"}
+	if len(ids) != len(want) {
+		t.Fatalf("TableIDs = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("TableIDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	if _, err := RegenerateTable("XI", 0.05); err == nil {
+		t.Fatal("unknown table id accepted")
+	}
+	if _, err := Platform(""); err == nil {
+		t.Fatal("empty platform name accepted")
+	}
+	if _, err := Workload("isx "); err == nil {
+		t.Fatal("malformed workload name accepted")
+	}
+	p, err := Platform("SKL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bw := range []float64{-1, nan(), inf()} {
+		if _, err := Analyze(p, testCurve(), Measurement{Routine: "r", BandwidthGBs: bw}); err == nil {
+			t.Fatalf("Analyze accepted bandwidth %v", bw)
+		}
+	}
+	if _, err := Analyze(p, nil, Measurement{Routine: "r", BandwidthGBs: 10}); err == nil {
+		t.Fatal("Analyze accepted nil profile")
+	}
+}
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }
 
 func TestStanceConstants(t *testing.T) {
 	if Recommend.String() != "recommend" || Discourage.String() != "discourage" || Neutral.String() != "neutral" {
