@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/ ./internal/service/
+RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench fuzz check
+.PHONY: all vet build test race bench bench-stream fuzz lint check
 
 all: check
 
@@ -29,6 +29,18 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# bench-stream exercises the monitor hot paths (window push, broker
+# fan-out at 1/8/64 subscribers) with real iteration counts.
+bench-stream:
+	$(GO) test -run 'Allocs' -bench 'BenchmarkWindowPush|BenchmarkFanout' ./internal/stream/
+
+# lint runs the static analyzers CI runs; both tools are optional locally
+# (install with go install honnef.co/go/tools/cmd/staticcheck@latest and
+# go install golang.org/x/vuln/cmd/govulncheck@latest).
+lint:
+	@command -v staticcheck >/dev/null && staticcheck ./... || echo "staticcheck not installed; skipping"
+	@command -v govulncheck >/dev/null && govulncheck ./... || echo "govulncheck not installed; skipping"
 
 fuzz:
 	$(GO) test ./internal/tracefile/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)

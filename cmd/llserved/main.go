@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/experiments"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
@@ -54,7 +55,12 @@ func main() {
 	paperProfiles := flag.Bool("paper-profiles", false, "serve the paper's published anchor curves instead of running the X-Mem characterization (instant, deterministic)")
 	warm := flag.Bool("warm", false, "characterize all platforms in the background at startup")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "llserved")
+		return
+	}
 
 	cfg := service.Config{
 		DefaultTimeout: *timeout,

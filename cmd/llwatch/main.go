@@ -1,0 +1,130 @@
+// Command llwatch tails a stream of bandwidth counter samples (NDJSON on
+// stdin or a file) and runs the sliding-window Little's-Law monitor over
+// it live: every window prints a sparkline of n_avg against the binding
+// MSHR ceiling, every detected phase prints its Figure-1 recipe advice,
+// and the final summary calls out when the whole-stream average would
+// have misled (§III-D).
+//
+// Usage:
+//
+//	llserved-style counters | llwatch -platform SKL
+//	llwatch -platform SKL -f samples.ndjson -window 8 -stride 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"littleslaw/internal/buildinfo"
+	"littleslaw/internal/experiments"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+	"littleslaw/internal/stream"
+	"littleslaw/internal/textplot"
+	"littleslaw/internal/xmem"
+)
+
+func main() {
+	platName := flag.String("platform", "SKL", "platform whose curve and MSHR ceilings apply")
+	input := flag.String("f", "-", "NDJSON sample file ('-' = stdin)")
+	period := flag.Float64("period", 1, "seconds between samples that carry no t_s")
+	window := flag.Int("window", 8, "sliding-window width in samples")
+	stride := flag.Int("stride", 0, "window stride in samples (0 = half the window)")
+	cores := flag.Int("cores", 0, "active cores the samples were measured on (0 = whole node)")
+	threads := flag.Int("threads", 1, "threads per core in the measured run")
+	random := flag.Bool("random-access", false, "classify the stream as random-access when samples carry no prefetch fraction")
+	paper := flag.Bool("paper-profile", true, "use the paper's anchor curve (false = run the X-Mem characterization first)")
+	spark := flag.Int("spark", 32, "sparkline width in windows")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "llwatch")
+		return
+	}
+
+	p, err := platform.ByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+	var profile *queueing.Curve
+	if *paper {
+		profile, err = experiments.PaperProfileFor(p)
+	} else {
+		fmt.Fprintf(os.Stderr, "llwatch: characterizing %s...\n", p.Name)
+		profile, err = xmem.Characterize(p, xmem.Options{})
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var r io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := stream.Config{
+		Platform:       p,
+		Profile:        profile,
+		WindowSamples:  *window,
+		StrideSamples:  *stride,
+		ActiveCores:    *cores,
+		ThreadsPerCore: *threads,
+		RandomAccess:   *random,
+	}
+	// The sparkline's fixed ceiling is the window's binding MSHR capacity,
+	// so a full block always reads "queue at its limit".
+	history := make([]float64, 0, *spark)
+	sum, err := stream.Monitor(ctx, stream.NewNDJSONSource(r, *period), cfg, func(ev stream.Event) error {
+		switch ev.Kind {
+		case "window":
+			w := ev.Window
+			if len(history) == *spark {
+				history = append(history[:0], history[1:]...)
+			}
+			history = append(history, w.Occupancy)
+			mark := " "
+			if w.Saturated {
+				mark = "!"
+			}
+			fmt.Printf("%*s  n_avg %5.1f /%2d %-2s%s  %6.1f GB/s  %5.1f ns  [%.0f–%.0fs]\n",
+				*spark, textplot.Sparkline(history, 0, float64(w.LimiterCapacity)),
+				w.Occupancy, w.LimiterCapacity, w.Limiter, mark, w.BandwidthGBs, w.LatencyNs, w.StartS, w.EndS)
+		case "phase":
+			ph := ev.Phase
+			fmt.Printf("-- phase %d [%.0f–%.0fs, %d windows]: %s (n_avg %.1f/%d %s at %.1f GB/s)\n",
+				ph.Index, ph.StartS, ph.EndS, ph.Windows, ph.Action,
+				ph.Occupancy, ph.LimiterCapacity, ph.Limiter, ph.BandwidthGBs)
+			for _, a := range ph.Advice {
+				fmt.Printf("     %-10s %-22s %s\n", a.Stance, a.Optimization, a.Reason)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("== %d samples, %d windows, %d phases; whole-stream mean %.1f GB/s -> n_avg %.1f, action %s\n",
+		sum.Samples, sum.Windows, sum.Phases, sum.BandwidthGBs, sum.Occupancy, sum.Action)
+	if sum.MisleadingAggregate {
+		fmt.Printf("!! the whole-stream average misleads: %s\n", sum.Detail)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "llwatch:", err)
+	os.Exit(1)
+}

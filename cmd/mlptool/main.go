@@ -23,6 +23,7 @@ import (
 
 	"littleslaw/internal/access"
 	"littleslaw/internal/autotune"
+	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/core"
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
@@ -47,7 +48,12 @@ func main() {
 	classifyPattern := flag.Bool("classify", false, "derive the random-vs-streaming classification from the access stream instead of the workload's own flag")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations for -autotune and characterization (1 = serial; results are identical)")
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "mlptool")
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

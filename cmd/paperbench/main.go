@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/experiments"
 	"littleslaw/internal/report"
 )
@@ -38,7 +39,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial; output is identical either way)")
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "paperbench")
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

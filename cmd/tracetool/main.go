@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"littleslaw/internal/access"
+	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/core"
 	"littleslaw/internal/cpu"
 	"littleslaw/internal/memsys"
@@ -38,6 +39,8 @@ func main() {
 		info(os.Args[2:])
 	case "analyze":
 		analyze(os.Args[2:])
+	case "version", "-version", "--version":
+		buildinfo.Print(os.Stdout, "tracetool")
 	default:
 		fail(fmt.Errorf("unknown subcommand %q", os.Args[1]))
 	}

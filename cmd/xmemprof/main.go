@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 
+	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/textplot"
 	"littleslaw/internal/xmem"
@@ -29,7 +30,12 @@ func main() {
 	plot := flag.Bool("plot", false, "render the profile as a terminal chart")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently measured operating points (1 = serial; the profile is identical)")
 	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "xmemprof")
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -1,0 +1,49 @@
+// Package buildinfo derives one version string for every binary in the
+// module from the metadata the Go linker already embeds, so the tools
+// agree on what they are without a stamping step in the build.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the best identity the build metadata offers: the module
+// version when built from a tagged release, else the VCS revision (with a
+// -dirty suffix when the tree was modified), else "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Print writes the one-line -version banner every tool shares.
+func Print(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s %s %s/%s\n", tool, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

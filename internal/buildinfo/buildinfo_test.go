@@ -1,0 +1,24 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("empty version")
+	}
+}
+
+func TestPrintBanner(t *testing.T) {
+	var sb strings.Builder
+	Print(&sb, "lltool")
+	out := sb.String()
+	if !strings.HasPrefix(out, "lltool ") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("banner = %q", out)
+	}
+	if fields := strings.Fields(out); len(fields) != 4 {
+		t.Fatalf("banner has %d fields, want 4: %q", len(fields), out)
+	}
+}

@@ -135,7 +135,7 @@ func Analyze(p *platform.Platform, profile *queueing.Curve, m Measurement) (*Rep
 
 	lat := profile.LatencyAt(m.BandwidthGBs)
 	// Equation 2: n_avg = lat × BW / cls, here divided per core.
-	n := queueing.ConcurrencyFromBandwidth(m.BandwidthGBs*1e9, lat*1e-9, p.LineBytes) / float64(cores)
+	n := profile.OccupancyAt(m.BandwidthGBs, p.LineBytes) / float64(cores)
 
 	r := &Report{
 		Routine:            m.Routine,

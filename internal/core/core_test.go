@@ -344,3 +344,47 @@ func TestDefaultCoresUsed(t *testing.T) {
 		t.Fatalf("default-cores occupancy = %.2f, want ≈10.1", r.Occupancy)
 	}
 }
+
+// TestClassifyBranches pins Classify to the same decision order Explain
+// narrates: L2-shift beats generic saturation, saturation beats compute
+// bound, and everything else is MLP headroom.
+func TestClassifyBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Measurement
+		want Action
+	}{
+		// ISx-like on SKL: L1 MSHRQ effectively full, L2 MSHRs idle.
+		{"shift-to-l2", Measurement{BandwidthGBs: 106.9, RandomAccess: true}, ShiftToL2},
+		// HPCG-like on SKL: streaming at the achievable ceiling.
+		{"reduce-traffic", Measurement{BandwidthGBs: 110, PrefetchedReadFraction: 0.9}, ReduceTraffic},
+		// Nearly idle random-access routine: compute/dependency bound.
+		{"compute-bound", Measurement{BandwidthGBs: 3, RandomAccess: true}, ComputeBound},
+		// Mid-range streaming: headroom to raise MLP.
+		{"raise-mlp", Measurement{BandwidthGBs: 80, PrefetchedReadFraction: 0.9}, RaiseMLP},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.m.PrefetchedReadFraction = orUnknown(tc.m.PrefetchedReadFraction)
+			r := mustAnalyze(t, "SKL", tc.m)
+			if got := Classify(r); got != tc.want {
+				t.Fatalf("Classify(%+v) = %s, want %s (report %s)", tc.m, got, tc.want, r)
+			}
+		})
+	}
+	if s := RaiseMLP.String(); s != "raise-mlp" {
+		t.Fatalf("Action.String = %q", s)
+	}
+	if s := Action(99).String(); s != "action(99)" {
+		t.Fatalf("unknown Action.String = %q", s)
+	}
+}
+
+// orUnknown maps the test table's zero prefetch fraction to the "counter
+// not available" sentinel so RandomAccess drives the classification.
+func orUnknown(f float64) float64 {
+	if f == 0 {
+		return -1
+	}
+	return f
+}

@@ -244,6 +244,57 @@ func AdviceFor(advice []Advice, o Optimization) Advice {
 	return Advice{Opt: o, Stance: Neutral}
 }
 
+// Action is the headline branch of the Figure-1 flowchart for a report —
+// the one-word answer to "what kind of optimization should this routine
+// try next". It is the unit the streaming monitor compares across phases:
+// two phases whose Actions differ need different optimizations, and an
+// aggregate whose Action matches no phase is the §III-D trap in one flag.
+type Action int
+
+const (
+	// RaiseMLP: the MSHRQ has headroom and bandwidth is unsaturated —
+	// vectorization, SMT and prefetching should pay off.
+	RaiseMLP Action = iota
+	// ShiftToL2: the L1 MSHR file binds but L2 MSHRs idle — L2 software
+	// prefetching moves the in-flight window to the larger file.
+	ShiftToL2
+	// ReduceTraffic: the MSHRQ or the memory itself is saturated — only
+	// request-reducing transformations (tiling, fusion) are left.
+	ReduceTraffic
+	// ComputeBound: occupancy and bandwidth are both low — the routine is
+	// compute or dependency bound; memory optimizations are beside the
+	// point.
+	ComputeBound
+)
+
+var actionNames = map[Action]string{
+	RaiseMLP:      "raise-mlp",
+	ShiftToL2:     "prefetch-to-l2",
+	ReduceTraffic: "reduce-traffic",
+	ComputeBound:  "compute-bound",
+}
+
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Classify returns the Figure-1 branch a report falls on, in the same
+// priority order Explain narrates it.
+func Classify(r *Report) Action {
+	switch {
+	case r.OccupancySaturated() && r.Limiter == L1Bound && r.L2SpareMSHRs >= 2:
+		return ShiftToL2
+	case r.OccupancySaturated() || r.BandwidthSaturated():
+		return ReduceTraffic
+	case r.ComputeBound():
+		return ComputeBound
+	}
+	return RaiseMLP
+}
+
 // Explain renders the recipe's decision path for a report as text — the
 // Figure-1 flowchart narrated for the measured values.
 func Explain(r *Report) string {

@@ -214,6 +214,48 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{labels: labels, children: map[string]*Gauge{}}
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.children))
+		for k := range v.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s} %d\n", n, k, v.children[k].Value())
+		}
+		v.mu.Unlock()
+	})
+	return v
+}
+
+// With returns the child gauge for the given label values (one per label,
+// in registration order), creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: want %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &Gauge{}
+		v.children[key] = g
+	}
+	return g
+}
+
 // HistogramVec is a family of histograms keyed by label values.
 type HistogramVec struct {
 	labels   []string

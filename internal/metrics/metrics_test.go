@@ -134,3 +134,28 @@ func TestDerived(t *testing.T) {
 		t.Errorf("missing derived value:\n%s", sb.String())
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("subs", "per-stream subscribers", "stream")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Inc()
+	v.With("b").Dec()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`subs{stream="a"} 2`, `subs{stream="b"} 0`, "# TYPE subs gauge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label arity mismatch did not panic")
+		}
+	}()
+	v.With("a", "b")
+}

@@ -64,6 +64,7 @@ func Profile(p *platform.Platform, profile *queueing.Curve, phases []Phase) (*Ap
 	app := &AppProfile{Platform: p.Name}
 	var avgBW, avgPF float64
 	anyRandom := false
+	cores, threads := 0, 0
 	for _, ph := range phases {
 		res, err := sim.Run(ph.Config)
 		if err != nil {
@@ -87,11 +88,18 @@ func Profile(p *platform.Platform, profile *queueing.Curve, phases []Phase) (*Ap
 		avgBW += frac * res.TotalGBs
 		avgPF += frac * res.PrefetchedReadFraction
 		anyRandom = anyRandom || ph.RandomAccess
+		cores = max(cores, res.Cores)
+		threads = max(threads, res.ThreadsPerCore)
 	}
 
+	// The whole-program view averages the same counters the routines were
+	// measured with, so it keeps their core/thread footprint — the
+	// misleading part is the averaging, not a change of denominator.
 	whole, err := core.Analyze(p, profile, core.Measurement{
 		Routine:                "whole-program",
 		BandwidthGBs:           avgBW,
+		ActiveCores:            cores,
+		ThreadsPerCore:         threads,
 		PrefetchedReadFraction: avgPF,
 		RandomAccess:           anyRandom,
 	})

@@ -1,57 +1,20 @@
 package profiler
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
-	"littleslaw/internal/cpu"
-	"littleslaw/internal/memsys"
+	"littleslaw/internal/core"
 	"littleslaw/internal/platform"
-	"littleslaw/internal/queueing"
-	"littleslaw/internal/sim"
+	"littleslaw/internal/stream/streamtest"
 )
-
-func sklCurve() *queueing.Curve {
-	return queueing.MustCurve([]queueing.CurvePoint{
-		{BandwidthGBs: 0.5, LatencyNs: 82}, {BandwidthGBs: 37.9, LatencyNs: 93},
-		{BandwidthGBs: 92.9, LatencyNs: 117}, {BandwidthGBs: 106.9, LatencyNs: 145},
-		{BandwidthGBs: 112, LatencyNs: 220},
-	})
-}
-
-// phaseConfig builds a small random-load phase with a given issue gap
-// (larger gap = lighter memory phase).
-func phaseConfig(p *platform.Platform, gap float64, window int) sim.Config {
-	return sim.Config{
-		Plat:   p,
-		Cores:  8,
-		Window: window,
-		NewGen: func(coreID, threadID int) cpu.Generator {
-			rng := rand.New(rand.NewSource(int64(coreID*31 + threadID)))
-			n := 1500
-			return cpu.GeneratorFunc(func() (cpu.Op, bool) {
-				if n <= 0 {
-					return cpu.Op{}, false
-				}
-				n--
-				return cpu.Op{
-					Addr:      uint64(coreID+1)<<34 + (rng.Uint64()&(1<<28-1))&^63,
-					Kind:      memsys.Load,
-					GapCycles: gap,
-					Work:      1,
-				}, true
-			})
-		},
-	}
-}
 
 func TestProfileValidation(t *testing.T) {
 	p := platform.SKL()
-	if _, err := Profile(p, sklCurve(), nil); err == nil {
+	if _, err := Profile(p, streamtest.Curve(), nil); err == nil {
 		t.Fatal("no phases accepted")
 	}
-	if _, err := Profile(p, sklCurve(), []Phase{{Name: "x", TimeWeight: 0}}); err == nil {
+	if _, err := Profile(p, streamtest.Curve(), []Phase{{Name: "x", TimeWeight: 0}}); err == nil {
 		t.Fatal("zero weight accepted")
 	}
 }
@@ -61,9 +24,9 @@ func TestProfileValidation(t *testing.T) {
 // that looks moderate, hiding the hot routine's saturated MSHR file.
 func TestPerRoutineDiffersFromWholeProgram(t *testing.T) {
 	p := platform.SKL()
-	app, err := Profile(p, sklCurve(), []Phase{
-		{Name: "hot_sweep", Config: phaseConfig(p, 1, 12), TimeWeight: 0.4, RandomAccess: true},
-		{Name: "light_solver", Config: phaseConfig(p, 900, 2), TimeWeight: 0.6, RandomAccess: true},
+	app, err := Profile(p, streamtest.Curve(), []Phase{
+		{Name: "hot_sweep", Config: streamtest.PhaseConfig(p, 1, 12), TimeWeight: 0.4, RandomAccess: true},
+		{Name: "light_solver", Config: streamtest.PhaseConfig(p, 900, 2), TimeWeight: 0.6, RandomAccess: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,8 +58,8 @@ func TestPerRoutineDiffersFromWholeProgram(t *testing.T) {
 
 func TestWriteReport(t *testing.T) {
 	p := platform.SKL()
-	app, err := Profile(p, sklCurve(), []Phase{
-		{Name: "alpha", Config: phaseConfig(p, 5, 8), TimeWeight: 1},
+	app, err := Profile(p, streamtest.Curve(), []Phase{
+		{Name: "alpha", Config: streamtest.PhaseConfig(p, 5, 8), TimeWeight: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -115,8 +78,8 @@ func TestWriteReport(t *testing.T) {
 
 func TestWriteCounterReports(t *testing.T) {
 	p := platform.SKL()
-	app, err := Profile(p, sklCurve(), []Phase{
-		{Name: "alpha", Config: phaseConfig(p, 5, 8), TimeWeight: 1},
+	app, err := Profile(p, streamtest.Curve(), []Phase{
+		{Name: "alpha", Config: streamtest.PhaseConfig(p, 5, 8), TimeWeight: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -130,5 +93,57 @@ func TestWriteCounterReports(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("counter report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWholeProgramActionTable pins the §III-D trap over the shared
+// streamtest fixture — the identical two-phase app the stream package's
+// phase detector segments and its golden event file locks. The routines'
+// recipe actions are fixed by the fixture; the whole-program average's
+// action must always betray the hot routine, and at balanced weights it
+// matches no routine at all.
+func TestWholeProgramActionTable(t *testing.T) {
+	p := platform.SKL()
+	cases := []struct {
+		name                 string
+		hotWeight, ltWeight  float64
+		divergesEveryRoutine bool
+	}{
+		{"equal-time", 0.5, 0.5, true},
+		{"hot-dominated", 0.8, 0.2, true},
+		{"light-dominated", 0.2, 0.8, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app, err := Profile(p, streamtest.Curve(), []Phase{
+				{Name: "hot_sweep", Config: streamtest.PhaseConfig(p, streamtest.HeavyGap, 12),
+					TimeWeight: tc.hotWeight, RandomAccess: true},
+				{Name: "light_solver", Config: streamtest.PhaseConfig(p, streamtest.LightGap, 2),
+					TimeWeight: tc.ltWeight, RandomAccess: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hot := core.Classify(app.Routines[0].Report)
+			light := core.Classify(app.Routines[1].Report)
+			whole := core.Classify(app.WholeProgram)
+
+			// The fixture's contract: a saturated L1 MSHR queue with idle
+			// L2 MSHRs next to an almost idle phase.
+			if hot != core.ShiftToL2 || light != core.ComputeBound {
+				t.Fatalf("fixture drifted: hot=%s light=%s", hot, light)
+			}
+			// The aggregate always hides the hot routine's saturation.
+			if whole == hot {
+				t.Fatalf("whole-program action %s matches the hot routine", whole)
+			}
+			if tc.divergesEveryRoutine && whole == light {
+				t.Fatalf("whole-program action %s matches the light routine", whole)
+			}
+			if o := app.WholeProgram.Occupancy; o <= app.Routines[1].Report.Occupancy ||
+				o >= app.Routines[0].Report.Occupancy {
+				t.Fatalf("whole-program occupancy %.2f not strictly between the routines", o)
+			}
+		})
 	}
 }

@@ -249,6 +249,14 @@ func (c *Curve) LatencyAt(bwGBs float64) float64 {
 	return lo.LatencyNs + f*(hi.LatencyNs-lo.LatencyNs)
 }
 
+// OccupancyAt returns the Equation-2 concurrency implied by operating the
+// memory at bwGBs against this curve: n_avg = BW × lat(BW) / lineBytes.
+// It is the per-window computation of the streaming monitor and the node
+// total behind core.Analyze (which divides it over the active cores).
+func (c *Curve) OccupancyAt(bwGBs float64, lineBytes int) float64 {
+	return ConcurrencyFromBandwidth(bwGBs*1e9, c.LatencyAt(bwGBs)*1e-9, lineBytes)
+}
+
 // SolveEquilibrium finds the self-consistent operating point of a closed
 // system in which n outstanding line requests of lineSize bytes circulate
 // against a memory whose loaded latency follows the curve:

@@ -320,3 +320,19 @@ func TestMDCWaitApprox(t *testing.T) {
 		t.Fatalf("saturated MDC = %v, want +Inf", got)
 	}
 }
+
+func TestOccupancyAt(t *testing.T) {
+	c := MustCurve([]CurvePoint{
+		{BandwidthGBs: 1, LatencyNs: 100}, {BandwidthGBs: 100, LatencyNs: 200},
+	})
+	// n_avg = BW × lat(BW) / line: 64 GB/s at the interpolated latency.
+	bw := 64.0
+	want := ConcurrencyFromBandwidth(bw*1e9, c.LatencyAt(bw)*1e-9, 64)
+	if got := c.OccupancyAt(bw, 64); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("OccupancyAt = %v, want %v", got, want)
+	}
+	// Sanity: 100 GB/s × 200 ns / 64 B = 312.5 lines in flight.
+	if got := c.OccupancyAt(100, 64); math.Abs(got-312.5) > 1e-9 {
+		t.Fatalf("OccupancyAt(100) = %v, want 312.5", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"littleslaw/internal/autotune"
@@ -31,6 +32,7 @@ import (
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
 	"littleslaw/internal/sim"
+	"littleslaw/internal/stream"
 	"littleslaw/internal/workloads"
 	"littleslaw/internal/xmem"
 )
@@ -107,6 +109,13 @@ type Server struct {
 	inflight    *metrics.Gauge
 	cacheEvents *metrics.CounterVec
 
+	streamSubs    *metrics.GaugeVec
+	streamEvents  *metrics.CounterVec
+	streamDropped *metrics.CounterVec
+
+	watchMu sync.Mutex
+	watches map[string]*stream.Broker
+
 	mux *http.ServeMux
 }
 
@@ -119,6 +128,7 @@ func New(cfg Config) *Server {
 		profiles: engine.NewLRU[string, *queueing.Curve](cfg.ProfileCacheSize),
 		tables:   engine.NewLRU[tableKey, *experiments.Table](cfg.TableCacheSize),
 		runners:  engine.NewLRU[float64, *experiments.Runner](cfg.RunnerCacheSize),
+		watches:  map[string]*stream.Broker{},
 	}
 	s.requests = s.reg.CounterVec("llserved_requests_total",
 		"Completed HTTP requests by handler and status code.", "handler", "code")
@@ -128,6 +138,12 @@ func New(cfg Config) *Server {
 		"Requests currently being served (the directly sampled occupancy).")
 	s.cacheEvents = s.reg.CounterVec("llserved_cache_events_total",
 		"Cache lookups by cache and outcome.", "cache", "event")
+	s.streamSubs = s.reg.GaugeVec("llserved_stream_subscribers",
+		"Subscribers currently attached to a watch stream.", "stream")
+	s.streamEvents = s.reg.CounterVec("llserved_stream_events_total",
+		"Events published to a watch stream.", "stream")
+	s.streamDropped = s.reg.CounterVec("llserved_stream_dropped_total",
+		"Events dropped (oldest-first) on slow watch subscribers.", "stream")
 	s.reg.Derived("llserved_littles_law_concurrency",
 		"The server's own n_avg from Little's Law: request latency_sum over uptime "+
 			"(Equation 1 applied to the service; compare llserved_inflight_requests).",
@@ -142,6 +158,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/advise", s.instrument("advise", s.handleAdvise))
 	s.mux.Handle("POST /v1/tune", s.instrument("tune", s.handleTune))
 	s.mux.Handle("GET /v1/tables/{id}", s.instrument("tables", s.handleTable))
+	s.mux.Handle("POST /v1/watch", s.instrument("watch", s.handleWatch))
+	s.mux.Handle("GET /v1/watch/{stream}", s.instrument("watch_subscribe", s.handleWatchSubscribe))
 	return s
 }
 
@@ -237,8 +255,20 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) i
 	return status
 }
 
+// hardenHeaders is the one place response hardening happens: every
+// response is nosniff, and request-derived payloads (analysis results,
+// event streams) are marked uncacheable so no intermediary replays a stale
+// verdict.
+func hardenHeaders(h http.Header, contentType string, noStore bool) {
+	h.Set("Content-Type", contentType)
+	h.Set("X-Content-Type-Options", "nosniff")
+	if noStore {
+		h.Set("Cache-Control", "no-store")
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	hardenHeaders(w.Header(), "application/json", true)
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -264,6 +294,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's Flush,
+// which the streaming handlers need after every event.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func readBody(r *http.Request) ([]byte, error) {
 	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
@@ -331,12 +365,12 @@ func (s *Server) cacheEvent(cache string, hit bool) {
 // ---- handlers ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	hardenHeaders(w.Header(), "text/plain; charset=utf-8", false)
 	io.WriteString(w, "ok\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	hardenHeaders(w.Header(), "text/plain; version=0.0.4", false)
 	s.reg.WritePrometheus(w)
 }
 

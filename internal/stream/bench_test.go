@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkWindowPush measures the steady-state per-sample cost of the
+// sliding window — the monitor's hot path. It must stay allocation-free
+// (TestWindowPushAllocs pins that).
+func BenchmarkWindowPush(b *testing.B) {
+	w := NewWindow(64, 8)
+	s := Sample{BandwidthGBs: 100, PrefetchedReadFraction: 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TS = float64(i)
+		w.Push(s)
+	}
+}
+
+// TestWindowPushAllocs asserts the window hot path allocates nothing in
+// steady state.
+func TestWindowPushAllocs(t *testing.T) {
+	w := NewWindow(64, 8)
+	s := Sample{BandwidthGBs: 100, PrefetchedReadFraction: 0.5}
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		s.TS = float64(i)
+		i++
+		w.Push(s)
+	})
+	if allocs > 0 {
+		t.Fatalf("Window.Push allocates %.2f objects per sample, budget 0", allocs)
+	}
+}
+
+// BenchmarkFanout measures publishing through the broker to 1, 8 and 64
+// draining subscribers.
+func BenchmarkFanout(b *testing.B) {
+	for _, subs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subs-%d", subs), func(b *testing.B) {
+			br := NewBroker(1024)
+			var wg sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				s := br.Subscribe(4096)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range s.Events() {
+					}
+				}()
+			}
+			ev := windowEvent(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br.Publish(ev)
+			}
+			b.StopTimer()
+			br.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// TestPublishAllocs bounds the broker publish path: the only allocation
+// source is the amortized history append, so the long-run average must
+// stay at or under one object per event.
+func TestPublishAllocs(t *testing.T) {
+	for _, subs := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("subs-%d", subs), func(t *testing.T) {
+			br := NewBroker(1 << 20) // cap far above the run: pure append regime
+			for i := 0; i < subs; i++ {
+				// Large enough that drop-oldest never runs; nobody drains.
+				br.Subscribe(20000)
+			}
+			ev := windowEvent(0)
+			allocs := testing.AllocsPerRun(10000, func() {
+				br.Publish(ev)
+			})
+			if allocs > 1 {
+				t.Fatalf("Broker.Publish allocates %.2f objects per event with %d subscribers, budget 1", allocs, subs)
+			}
+			br.Close()
+		})
+	}
+}

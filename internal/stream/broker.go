@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Broker fans a monitor's event stream out to many subscribers. Every
+// published event is retained (up to a history cap), so a subscriber that
+// attaches late replays the full sequence before tailing live events —
+// which is how N concurrent /v1/watch clients all observe identical
+// streams. A slow subscriber never blocks the publisher or its peers:
+// when a subscriber's buffer fills, its oldest undelivered event is
+// dropped and counted.
+type Broker struct {
+	mu      sync.Mutex
+	history []Event
+	maxHist int
+	subs    map[*Subscriber]struct{}
+	closed  bool
+	seq     int
+
+	dropped atomic.Uint64
+	// OnPublish and OnDrop are optional metric hooks, called outside any
+	// subscriber channel operation but under the broker lock; they must
+	// not call back into the broker.
+	OnPublish func()
+	OnDrop    func()
+}
+
+// DefaultHistory bounds retained events when NewBroker is given 0.
+const DefaultHistory = 8192
+
+// NewBroker builds a broker retaining up to maxHistory events (0 =
+// DefaultHistory). When the cap is exceeded the oldest history is
+// discarded; late subscribers then join mid-stream.
+func NewBroker(maxHistory int) *Broker {
+	if maxHistory <= 0 {
+		maxHistory = DefaultHistory
+	}
+	return &Broker{maxHist: maxHistory, subs: map[*Subscriber]struct{}{}}
+}
+
+// Publish assigns the event its sequence number, retains it and delivers
+// it to every subscriber. It never blocks.
+func (b *Broker) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	ev.Seq = b.seq
+	b.seq++
+	b.history = append(b.history, ev)
+	if len(b.history) > b.maxHist {
+		// Drop the oldest half in one copy so the amortized cost stays O(1).
+		n := copy(b.history, b.history[len(b.history)-b.maxHist/2:])
+		b.history = b.history[:n]
+	}
+	for s := range b.subs {
+		s.push(b, ev)
+	}
+	if b.OnPublish != nil {
+		b.OnPublish()
+	}
+}
+
+// Close marks the stream complete and closes every subscriber channel
+// (buffered events remain readable). Further Publish calls are ignored.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		s.closeLocked()
+		delete(b.subs, s)
+	}
+}
+
+// Dropped returns the total events dropped across all subscribers.
+func (b *Broker) Dropped() uint64 { return b.dropped.Load() }
+
+// Events returns the number of events published so far.
+func (b *Broker) Events() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Closed reports whether the stream has completed.
+func (b *Broker) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Subscribe attaches a new subscriber with the given buffer capacity
+// (0 = 256). The retained history is delivered first — dropping oldest if
+// it exceeds the buffer and the subscriber has not started draining —
+// then live events as they are published. If the stream already
+// completed, the subscriber's channel closes once the history drains.
+func (b *Broker) Subscribe(buffer int) *Subscriber {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Subscriber{ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ev := range b.history {
+		s.push(b, ev)
+	}
+	if b.closed {
+		s.closeLocked()
+		return s
+	}
+	b.subs[s] = struct{}{}
+	s.broker = b
+	return s
+}
+
+// Subscriber is one consumer of a broker's event stream.
+type Subscriber struct {
+	ch      chan Event
+	broker  *Broker
+	closed  sync.Once
+	dropped atomic.Uint64
+}
+
+// Events returns the subscriber's channel. It closes when the stream
+// completes or the subscriber is closed.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this subscriber lost to backpressure.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscriber (a departed client) and closes its
+// channel. Safe to call multiple times and after the broker closed.
+func (s *Subscriber) Close() {
+	b := s.broker
+	if b == nil {
+		s.closeLocked()
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, s)
+	s.closeLocked()
+}
+
+// closeLocked closes the channel exactly once. Callers must guarantee no
+// concurrent push — both paths hold the owning broker's lock.
+func (s *Subscriber) closeLocked() {
+	s.closed.Do(func() { close(s.ch) })
+}
+
+// push delivers ev, evicting the subscriber's oldest undelivered event
+// while its buffer is full (drop-oldest backpressure). Called with the
+// broker lock held, so pushes are ordered; the consumer may drain
+// concurrently, which only helps.
+func (s *Subscriber) push(b *Broker, ev Event) {
+	for {
+		select {
+		case s.ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+			if b.OnDrop != nil {
+				b.OnDrop()
+			}
+		default:
+			// Consumer drained between the two selects; retry the send.
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func windowEvent(i int) Event {
+	return Event{Kind: "window", Window: &WindowEvent{Index: i}}
+}
+
+func drain(s *Subscriber) []Event {
+	var out []Event
+	for ev := range s.Events() {
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestBrokerFanoutIdenticalSequences(t *testing.T) {
+	b := NewBroker(0)
+	const subs, events = 16, 50
+
+	// Half subscribe before publishing, half after the stream completed:
+	// the history replay makes both cohorts see the same sequence.
+	early := make([]*Subscriber, subs/2)
+	for i := range early {
+		early[i] = b.Subscribe(events + 8)
+	}
+	for i := 0; i < events; i++ {
+		b.Publish(windowEvent(i))
+	}
+	b.Close()
+	late := make([]*Subscriber, subs/2)
+	for i := range late {
+		late[i] = b.Subscribe(events + 8)
+	}
+
+	for si, s := range append(early, late...) {
+		got := drain(s)
+		if len(got) != events {
+			t.Fatalf("subscriber %d got %d events, want %d", si, len(got), events)
+		}
+		for i, ev := range got {
+			if ev.Seq != i || ev.Window.Index != i {
+				t.Fatalf("subscriber %d event %d = seq %d index %d", si, i, ev.Seq, ev.Window.Index)
+			}
+		}
+		if s.Dropped() != 0 {
+			t.Fatalf("subscriber %d dropped %d", si, s.Dropped())
+		}
+	}
+	if b.Dropped() != 0 || b.Events() != events {
+		t.Fatalf("broker dropped=%d events=%d", b.Dropped(), b.Events())
+	}
+}
+
+func TestBrokerDropOldestForSlowSubscriber(t *testing.T) {
+	b := NewBroker(0)
+	var drops int
+	b.OnDrop = func() { drops++ }
+
+	slow := b.Subscribe(4) // artificially tiny buffer, not draining
+	fast := b.Subscribe(64)
+	const events = 20
+	for i := 0; i < events; i++ {
+		b.Publish(windowEvent(i))
+	}
+	b.Close()
+
+	gotSlow := drain(slow)
+	if len(gotSlow) != 4 {
+		t.Fatalf("slow subscriber buffered %d, want 4", len(gotSlow))
+	}
+	// Drop-oldest: what survives is the newest suffix, in order.
+	for i, ev := range gotSlow {
+		if want := events - 4 + i; ev.Window.Index != want {
+			t.Fatalf("slow event %d = index %d, want %d", i, ev.Window.Index, want)
+		}
+	}
+	if slow.Dropped() != events-4 || uint64(drops) != b.Dropped() || b.Dropped() != events-4 {
+		t.Fatalf("dropped: sub=%d hook=%d broker=%d", slow.Dropped(), drops, b.Dropped())
+	}
+	// The slow client never slowed the fast one.
+	if got := drain(fast); len(got) != events {
+		t.Fatalf("fast subscriber got %d events", len(got))
+	}
+}
+
+func TestBrokerSubscribeAfterCloseReplaysHistory(t *testing.T) {
+	b := NewBroker(0)
+	b.Publish(windowEvent(0))
+	b.Publish(windowEvent(1))
+	b.Close()
+	if !b.Closed() {
+		t.Fatal("broker not closed")
+	}
+	s := b.Subscribe(0)
+	if got := drain(s); len(got) != 2 {
+		t.Fatalf("late subscriber got %d events, want 2", len(got))
+	}
+	// Publishing after close is a no-op, not a panic.
+	b.Publish(windowEvent(2))
+	if b.Events() != 2 {
+		t.Fatalf("events after close = %d", b.Events())
+	}
+}
+
+func TestBrokerHistoryCapKeepsNewest(t *testing.T) {
+	b := NewBroker(8)
+	for i := 0; i < 40; i++ {
+		b.Publish(windowEvent(i))
+	}
+	b.Close()
+	got := drain(b.Subscribe(64))
+	if len(got) == 0 || len(got) > 8 {
+		t.Fatalf("history length %d, want (0, 8]", len(got))
+	}
+	// The retained suffix ends with the newest event and is contiguous.
+	if last := got[len(got)-1].Window.Index; last != 39 {
+		t.Fatalf("newest retained = %d, want 39", last)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("history gap between %d and %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestBrokerSubscriberCloseDetaches(t *testing.T) {
+	b := NewBroker(0)
+	s := b.Subscribe(1)
+	s.Close()
+	s.Close() // idempotent
+	b.Publish(windowEvent(0))
+	b.Close()
+	if got := drain(s); len(got) != 0 {
+		t.Fatalf("closed subscriber received %d events", len(got))
+	}
+}
+
+// TestBrokerConcurrency exercises publish/subscribe/close races under the
+// race detector (the Makefile runs this package with -race).
+func TestBrokerConcurrency(t *testing.T) {
+	b := NewBroker(0)
+	const events = 200
+	var wg sync.WaitGroup
+	results := make([][]Event, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mixed buffer sizes: some subscribers will drop.
+			s := b.Subscribe(1 << (i % 5))
+			results[i] = drain(s)
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < events; i++ {
+			b.Publish(windowEvent(i))
+		}
+		b.Close()
+	}()
+	wg.Wait()
+
+	for i, got := range results {
+		// Whatever arrives must be an ordered subsequence with correct seqs.
+		last := -1
+		for _, ev := range got {
+			if ev.Seq <= last {
+				t.Fatalf("subscriber %d: seq %d after %d", i, ev.Seq, last)
+			}
+			last = ev.Seq
+		}
+	}
+}
+
+func TestBrokerManySubscriberCounts(t *testing.T) {
+	for _, n := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("subs-%d", n), func(t *testing.T) {
+			b := NewBroker(0)
+			subs := make([]*Subscriber, n)
+			for i := range subs {
+				subs[i] = b.Subscribe(32)
+			}
+			for i := 0; i < 16; i++ {
+				b.Publish(windowEvent(i))
+			}
+			b.Close()
+			for i, s := range subs {
+				if got := drain(s); len(got) != 16 {
+					t.Fatalf("subscriber %d of %d got %d events", i, n, len(got))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package stream
+
+import "math"
+
+// DetectorConfig tunes the CUSUM phase detector.
+type DetectorConfig struct {
+	// Slack (k) is the mean drift the detector tolerates before charging
+	// the cumulative sums, in units of the monitored value (n_avg).
+	// Default 0.5 — half an MSHR entry of wander is not a phase change.
+	Slack float64
+	// Threshold (h) is the cumulative deviation that declares a mean
+	// shift, in the same units. Default 1.5.
+	Threshold float64
+	// MinWindows is the minimum number of windows a phase must span before
+	// the detector re-arms; shorter excursions fold into the running phase.
+	// Default 2.
+	MinWindows int
+}
+
+func (c *DetectorConfig) normalize() {
+	if c.Slack == 0 {
+		c.Slack = 0.5
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1.5
+	}
+	if c.MinWindows == 0 {
+		c.MinWindows = 2
+	}
+}
+
+// Detector segments a sequence of per-window values (the monitor feeds it
+// n_avg) into phases with a two-sided CUSUM against the running mean of
+// the current phase: gPos accumulates (x − μ − k)⁺, gNeg accumulates
+// (μ − x − k)⁺, and either sum exceeding h declares a boundary. CUSUM
+// accumulates evidence across windows, so it catches both a step (one
+// window far from μ) and a slow ramp (many windows slightly off) that a
+// single-window threshold would miss.
+type Detector struct {
+	cfg        DetectorConfig
+	mean       float64
+	n          int // windows in the current phase
+	gPos, gNeg float64
+}
+
+// NewDetector builds a detector; zero-valued config fields take defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	cfg.normalize()
+	return &Detector{cfg: cfg}
+}
+
+// Push feeds the next window value and reports whether a phase boundary
+// was detected immediately before it — the pushed value opens the new
+// phase.
+func (d *Detector) Push(x float64) bool {
+	if math.IsNaN(x) {
+		return false
+	}
+	if d.n == 0 {
+		d.mean = x
+		d.n = 1
+		return false
+	}
+
+	if d.n >= d.cfg.MinWindows {
+		d.gPos = math.Max(0, d.gPos+x-d.mean-d.cfg.Slack)
+		d.gNeg = math.Max(0, d.gNeg+d.mean-x-d.cfg.Slack)
+		if d.gPos > d.cfg.Threshold || d.gNeg > d.cfg.Threshold {
+			d.mean = x
+			d.n = 1
+			d.gPos, d.gNeg = 0, 0
+			return true
+		}
+	}
+
+	// No shift: fold the window into the running phase mean.
+	d.n++
+	d.mean += (x - d.mean) / float64(d.n)
+	return false
+}
+
+// PhaseWindows returns the number of windows in the current phase.
+func (d *Detector) PhaseWindows() int { return d.n }
+
+// Mean returns the running mean of the current phase.
+func (d *Detector) Mean() float64 { return d.mean }

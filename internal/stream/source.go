@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Source emits samples in timestamp order. Next returns io.EOF when the
+// stream drains; a live source (stdin tail) blocks until a sample arrives
+// or ctx fires.
+type Source interface {
+	Next(ctx context.Context) (Sample, error)
+}
+
+// SliceSource replays an in-memory sample series — the adapter behind
+// replayed simulations and inline request bodies.
+type SliceSource struct {
+	samples []Sample
+	i       int
+}
+
+// NewSliceSource wraps samples (not copied) as a Source.
+func NewSliceSource(samples []Sample) *SliceSource {
+	return &SliceSource{samples: samples}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(ctx context.Context) (Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return Sample{}, err
+	}
+	if s.i >= len(s.samples) {
+		return Sample{}, io.EOF
+	}
+	out := s.samples[s.i]
+	s.i++
+	return out, nil
+}
+
+// Len returns the total number of samples in the slice.
+func (s *SliceSource) Len() int { return len(s.samples) }
+
+// ndjsonSample is the wire form of one NDJSON line. Pointers distinguish
+// "absent" from zero so missing timestamps auto-increment and a missing
+// prefetch fraction stays unknown rather than becoming "0% prefetched".
+type ndjsonSample struct {
+	TS                     *float64 `json:"t_s"`
+	BandwidthGBs           *float64 `json:"bandwidth_gbs"`
+	PrefetchedReadFraction *float64 `json:"prefetched_read_fraction"`
+}
+
+// NDJSONSource reads newline-delimited JSON samples — one object per line,
+// e.g. {"t_s": 12.5, "bandwidth_gbs": 87.3} — from a file, a pipe or
+// stdin. Blank lines and #-comments are skipped. Lines without "t_s" get
+// the previous timestamp plus the configured period.
+type NDJSONSource struct {
+	sc     *bufio.Scanner
+	period float64
+	lastTS float64
+	line   int
+	first  bool
+}
+
+// NewNDJSONSource wraps r; period is the timestamp increment for lines
+// that omit t_s (0 means 1 second).
+func NewNDJSONSource(r io.Reader, period float64) *NDJSONSource {
+	if period <= 0 {
+		period = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &NDJSONSource{sc: sc, period: period, first: true}
+}
+
+// Next implements Source.
+func (n *NDJSONSource) Next(ctx context.Context) (Sample, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return Sample{}, err
+		}
+		if !n.sc.Scan() {
+			if err := n.sc.Err(); err != nil {
+				return Sample{}, fmt.Errorf("stream: reading samples: %w", err)
+			}
+			return Sample{}, io.EOF
+		}
+		n.line++
+		raw := bytes.TrimSpace(n.sc.Bytes())
+		if len(raw) == 0 || raw[0] == '#' {
+			continue
+		}
+		var w ndjsonSample
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return Sample{}, fmt.Errorf("stream: line %d: %w", n.line, err)
+		}
+		s, err := w.sample(n)
+		if err != nil {
+			return Sample{}, fmt.Errorf("stream: line %d: %w", n.line, err)
+		}
+		return s, nil
+	}
+}
+
+func (w *ndjsonSample) sample(n *NDJSONSource) (Sample, error) {
+	if w.BandwidthGBs == nil {
+		return Sample{}, fmt.Errorf("missing bandwidth_gbs")
+	}
+	bw := *w.BandwidthGBs
+	if !(bw >= 0) || math.IsInf(bw, 0) {
+		return Sample{}, fmt.Errorf("bandwidth_gbs must be finite and non-negative, got %v", bw)
+	}
+	var ts float64
+	switch {
+	case w.TS != nil:
+		ts = *w.TS
+		if math.IsNaN(ts) || math.IsInf(ts, 0) {
+			return Sample{}, fmt.Errorf("t_s must be finite, got %v", ts)
+		}
+		if !n.first && ts < n.lastTS {
+			return Sample{}, fmt.Errorf("t_s %v moves backwards (previous %v)", ts, n.lastTS)
+		}
+	case n.first:
+		ts = 0
+	default:
+		ts = n.lastTS + n.period
+	}
+	n.lastTS, n.first = ts, false
+
+	pf := -1.0
+	if w.PrefetchedReadFraction != nil {
+		pf = *w.PrefetchedReadFraction
+		if !(pf >= 0 && pf <= 1) {
+			return Sample{}, fmt.Errorf("prefetched_read_fraction must be in [0, 1], got %v", pf)
+		}
+	}
+	return Sample{TS: ts, BandwidthGBs: bw, PrefetchedReadFraction: pf}, nil
+}

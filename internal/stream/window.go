@@ -1,0 +1,86 @@
+package stream
+
+// WindowStat is the aggregate the sliding window emits every stride once
+// it is full.
+type WindowStat struct {
+	// Index counts emitted windows from 0.
+	Index int
+	// StartS and EndS are the timestamps of the oldest and newest sample
+	// in the window.
+	StartS, EndS float64
+	// MeanBandwidthGBs is the window-average bandwidth.
+	MeanBandwidthGBs float64
+	// PrefetchSum and PrefetchN aggregate the samples that carried a
+	// prefetched-read fraction (PrefetchN of them).
+	PrefetchSum float64
+	PrefetchN   int
+}
+
+// Window maintains a ring-buffered sliding window over samples: width
+// samples wide, emitting a WindowStat every stride pushes once full.
+// Push is O(1) and allocation-free after construction, which is what lets
+// the monitor keep up with high-rate counter streams (BenchmarkWindowPush
+// pins this).
+type Window struct {
+	width, stride int
+	buf           []Sample
+	n             int // total samples pushed
+	sum           float64
+	pfSum         float64
+	pfN           int
+	emitted       int
+}
+
+// NewWindow builds a window of width samples emitting every stride.
+// Both must be at least 1; stride may exceed width (sampling windows).
+func NewWindow(width, stride int) *Window {
+	if width < 1 || stride < 1 {
+		panic("stream: window width and stride must be at least 1")
+	}
+	return &Window{width: width, stride: stride, buf: make([]Sample, width)}
+}
+
+// Push adds one sample and returns the window aggregate when one is due.
+func (w *Window) Push(s Sample) (WindowStat, bool) {
+	slot := w.n % w.width
+	if w.n >= w.width {
+		old := w.buf[slot]
+		w.sum -= old.BandwidthGBs
+		if old.PrefetchedReadFraction >= 0 {
+			w.pfSum -= old.PrefetchedReadFraction
+			w.pfN--
+		}
+	}
+	w.buf[slot] = s
+	w.sum += s.BandwidthGBs
+	if s.PrefetchedReadFraction >= 0 {
+		w.pfSum += s.PrefetchedReadFraction
+		w.pfN++
+	}
+	w.n++
+
+	if w.n < w.width || (w.n-w.width)%w.stride != 0 {
+		return WindowStat{}, false
+	}
+	// The next slot to be overwritten holds the oldest buffered sample
+	// (when n == width that is slot 0, the first sample).
+	oldest := w.buf[w.n%w.width]
+	stat := WindowStat{
+		Index:            w.emitted,
+		StartS:           oldest.TS,
+		EndS:             s.TS,
+		MeanBandwidthGBs: w.sum / float64(w.width),
+		PrefetchSum:      w.pfSum,
+		PrefetchN:        w.pfN,
+	}
+	w.emitted++
+	return stat, true
+}
+
+// Len returns the number of samples currently buffered.
+func (w *Window) Len() int {
+	if w.n < w.width {
+		return w.n
+	}
+	return w.width
+}

@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"context"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(4, 2)
+	var stats []WindowStat
+	for i := 0; i < 10; i++ {
+		s := Sample{TS: float64(i), BandwidthGBs: float64(i), PrefetchedReadFraction: -1}
+		if stat, ok := w.Push(s); ok {
+			stats = append(stats, stat)
+		}
+	}
+	// Windows complete at samples 4, 6, 8, 10 → indices 0..3.
+	if len(stats) != 4 {
+		t.Fatalf("got %d windows, want 4: %+v", len(stats), stats)
+	}
+	// First window covers samples 0..3: mean 1.5, span [0, 3].
+	if stats[0].MeanBandwidthGBs != 1.5 || stats[0].StartS != 0 || stats[0].EndS != 3 {
+		t.Fatalf("window 0 = %+v", stats[0])
+	}
+	// Second window covers samples 2..5: mean 3.5, span [2, 5].
+	if stats[1].MeanBandwidthGBs != 3.5 || stats[1].StartS != 2 || stats[1].EndS != 5 {
+		t.Fatalf("window 1 = %+v", stats[1])
+	}
+	if stats[3].Index != 3 || w.Len() != 4 {
+		t.Fatalf("index/len = %d/%d", stats[3].Index, w.Len())
+	}
+}
+
+func TestWindowPrefetchFractionAggregation(t *testing.T) {
+	w := NewWindow(2, 1)
+	w.Push(Sample{TS: 0, BandwidthGBs: 1, PrefetchedReadFraction: 0.5})
+	stat, ok := w.Push(Sample{TS: 1, BandwidthGBs: 1, PrefetchedReadFraction: -1})
+	if !ok || stat.PrefetchN != 1 || stat.PrefetchSum != 0.5 {
+		t.Fatalf("stat = %+v ok=%v", stat, ok)
+	}
+	// The unknown-fraction sample evicts cleanly.
+	stat, ok = w.Push(Sample{TS: 2, BandwidthGBs: 1, PrefetchedReadFraction: 0.25})
+	if !ok || stat.PrefetchN != 1 || stat.PrefetchSum != 0.25 {
+		t.Fatalf("stat after eviction = %+v ok=%v", stat, ok)
+	}
+}
+
+func TestWindowTumbling(t *testing.T) {
+	w := NewWindow(3, 3) // stride == width: no overlap
+	var n int
+	for i := 0; i < 9; i++ {
+		if _, ok := w.Push(Sample{TS: float64(i), BandwidthGBs: 1, PrefetchedReadFraction: -1}); ok {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("tumbling windows = %d, want 3", n)
+	}
+}
+
+func TestWindowBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width did not panic")
+		}
+	}()
+	NewWindow(0, 1)
+}
+
+func TestDetectorStepShift(t *testing.T) {
+	d := NewDetector(DetectorConfig{})
+	for i := 0; i < 5; i++ {
+		if d.Push(10 + 0.1*float64(i%2)) {
+			t.Fatalf("false boundary at stable window %d", i)
+		}
+	}
+	if !d.Push(2) {
+		t.Fatal("step 10→2 not detected")
+	}
+	if d.PhaseWindows() != 1 || math.Abs(d.Mean()-2) > 1e-9 {
+		t.Fatalf("detector did not reset: n=%d mean=%v", d.PhaseWindows(), d.Mean())
+	}
+	// The new phase needs MinWindows before re-arming.
+	if d.Push(2.1) {
+		t.Fatal("boundary before MinWindows")
+	}
+	if !d.Push(9.5) {
+		t.Fatal("return shift not detected")
+	}
+}
+
+func TestDetectorRampAccumulates(t *testing.T) {
+	// Each window drifts +0.8 over slack 0.5: no single window clears the
+	// 1.5 threshold alone, but the CUSUM accumulates 0.3/window.
+	d := NewDetector(DetectorConfig{Slack: 0.5, Threshold: 1.5, MinWindows: 1})
+	d.Push(10)
+	fired := false
+	x := 10.0
+	for i := 0; i < 12 && !fired; i++ {
+		x += 0.8
+		fired = d.Push(x)
+	}
+	if !fired {
+		t.Fatal("slow ramp never detected")
+	}
+}
+
+func TestDetectorIgnoresNaN(t *testing.T) {
+	d := NewDetector(DetectorConfig{})
+	d.Push(5)
+	if d.Push(math.NaN()) {
+		t.Fatal("NaN declared a boundary")
+	}
+	if d.PhaseWindows() != 1 {
+		t.Fatalf("NaN was folded into the phase: n=%d", d.PhaseWindows())
+	}
+}
+
+func TestNDJSONSource(t *testing.T) {
+	in := `# counter dump
+{"t_s": 0, "bandwidth_gbs": 10}
+
+{"t_s": 1.5, "bandwidth_gbs": 20, "prefetched_read_fraction": 0.75}
+{"bandwidth_gbs": 30}
+`
+	src := NewNDJSONSource(strings.NewReader(in), 0.5)
+	ctx := context.Background()
+	var got []Sample
+	for {
+		s, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	want := []Sample{
+		{TS: 0, BandwidthGBs: 10, PrefetchedReadFraction: -1},
+		{TS: 1.5, BandwidthGBs: 20, PrefetchedReadFraction: 0.75},
+		{TS: 2.0, BandwidthGBs: 30, PrefetchedReadFraction: -1}, // 1.5 + period
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples: %+v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNDJSONSourceErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"missing-bandwidth", `{"t_s": 0}`},
+		{"negative-bandwidth", `{"bandwidth_gbs": -1}`},
+		{"nan-impossible-but-inf", `{"bandwidth_gbs": 1e999}`},
+		{"backwards-time", "{\"t_s\": 5, \"bandwidth_gbs\": 1}\n{\"t_s\": 4, \"bandwidth_gbs\": 1}"},
+		{"bad-fraction", `{"bandwidth_gbs": 1, "prefetched_read_fraction": 1.5}`},
+		{"not-json", `bandwidth=12`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := NewNDJSONSource(strings.NewReader(tc.in), 1)
+			for {
+				_, err := src.Next(context.Background())
+				if err == io.EOF {
+					t.Fatalf("input %q accepted", tc.in)
+				}
+				if err != nil {
+					return // got the expected rejection
+				}
+			}
+		})
+	}
+}
+
+func TestSliceSourceHonorsContext(t *testing.T) {
+	src := NewSliceSource([]Sample{{TS: 0, BandwidthGBs: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := src.Next(ctx); err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}

@@ -172,3 +172,47 @@ func maxInt(a, b int) int {
 	}
 	return b
 }
+
+// sparkGlyphs are the eight block heights of a unicode sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line sparkline scaled to [lo, hi].
+// When hi <= lo the range autoscales to the data. Values outside the range
+// clamp to the end glyphs, and NaNs render as spaces — a live monitor can
+// pass a fixed ceiling (an MSHR capacity) so a full block always means
+// "at the limit".
+func Sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if hi <= lo {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if hi <= lo { // all equal (or all NaN): mid-height line
+			hi = lo + 1
+			lo -= 1
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			sb.WriteByte(' ')
+			continue
+		}
+		i := int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkGlyphs) {
+			i = len(sparkGlyphs) - 1
+		}
+		sb.WriteRune(sparkGlyphs[i])
+	}
+	return sb.String()
+}

@@ -1,6 +1,7 @@
 package textplot
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -77,5 +78,30 @@ func TestLineConnection(t *testing.T) {
 	}
 	if !strings.Contains(out, ".") {
 		t.Errorf("no connecting fill:\n%s", out)
+	}
+}
+
+func TestSparklineFixedRange(t *testing.T) {
+	got := Sparkline([]float64{0, 5, 10, 20, -3}, 0, 10)
+	want := "▁▅██▁" // 20 clamps to full, -3 clamps to floor
+	if got != want {
+		t.Fatalf("Sparkline = %q, want %q", got, want)
+	}
+}
+
+func TestSparklineAutoscaleAndNaN(t *testing.T) {
+	got := Sparkline([]float64{1, math.NaN(), 3}, 0, 0)
+	if len([]rune(got)) != 3 || []rune(got)[1] != ' ' {
+		t.Fatalf("Sparkline = %q", got)
+	}
+	if first, last := []rune(got)[0], []rune(got)[2]; first == last {
+		t.Fatalf("no contrast in %q", got)
+	}
+	if Sparkline(nil, 0, 1) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	// A flat series renders, at mid height, without dividing by zero.
+	if flat := Sparkline([]float64{2, 2, 2}, 0, 0); len([]rune(flat)) != 3 {
+		t.Fatalf("flat = %q", flat)
 	}
 }
