@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/
+RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench bench-stream fuzz lint check
+.PHONY: all vet build test race bench bench-stream fuzz lint check loadtest
 
 all: check
 
@@ -46,6 +46,29 @@ fuzz:
 	$(GO) test ./internal/tracefile/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/service/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/service/ -run '^$$' -fuzz FuzzNormalizeTableID -fuzztime $(FUZZTIME)
+
+# loadtest demonstrates the admission controller end to end: llserved with a
+# deliberately small ceiling is driven open-loop at LOADTEST_RATE req/s with a
+# simulated-workload analyze (~45ms each, so ceiling 4 caps capacity near
+# 90/s), so the summary should show 429 sheds with Retry-After hints alongside
+# admitted requests that stay fast. The server is built (not `go run`) so the
+# kill lands on the real process.
+LOADTEST_ADDR ?= 127.0.0.1:8137
+LOADTEST_RATE ?= 400
+LOADTEST_DURATION ?= 5s
+
+loadtest:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./cmd/llserved ./cmd/llload || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/llserved -addr $(LOADTEST_ADDR) -paper-profiles -limit-ceiling 4 -limit-queue 8 -limit-queue-timeout 50ms & \
+	srv=$$!; trap 'kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; rm -rf '"$$tmp" EXIT; \
+	sleep 1; \
+	$$tmp/llload -url http://$(LOADTEST_ADDR)/v1/analyze -mode open \
+		-rate $(LOADTEST_RATE) -duration $(LOADTEST_DURATION) \
+		-body '{"platform":"SKL","workload":"ISx","scale":0.02}'; \
+	code=$$?; \
+	curl -sf http://$(LOADTEST_ADDR)/metrics | grep '^llserved_limiter' || true; \
+	exit $$code
 
 # check is the tier-1 gate plus the race job.
 check: vet build test race

@@ -1,0 +1,112 @@
+// Command llload drives llserved with synthetic traffic: a closed-loop
+// population of clients or an open-loop arrival process at a fixed rate,
+// honoring the admission controller's 429 + Retry-After with client-side
+// retries. It is the manual companion to the end-to-end shed/recover test:
+// point it at a server, push past capacity, and watch /metrics report the
+// limiter holding n_avg at the ceiling while the excess sheds.
+//
+// Usage:
+//
+//	llload -url http://localhost:8080/v1/analyze -body '{"platform":"SKL","measurement":{"bandwidth_gbs":80}}'
+//	llload -url ... -mode open -rate 400 -duration 10s      # open loop, 400 req/s offered
+//	llload -url ... -mode closed -c 16 -duration 10s        # closed loop, 16 clients
+//	llload -url ... -retries 3                              # honor Retry-After up to 3 times
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"littleslaw/internal/buildinfo"
+	"littleslaw/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "", "target URL (required)")
+	method := flag.String("method", "", "HTTP method (default POST with -body, GET without)")
+	body := flag.String("body", "", "request body sent with every request")
+	bodyFile := flag.String("body-file", "", "read the request body from a file")
+	contentType := flag.String("content-type", "application/json", "request body content type")
+	mode := flag.String("mode", "closed", "driving discipline: closed (fixed clients) or open (fixed arrival rate)")
+	concurrency := flag.Int("c", 4, "closed-loop client population")
+	rate := flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive")
+	maxRequests := flag.Int("n", 0, "stop after this many arrivals (0 = until -duration)")
+	retries := flag.Int("retries", 0, "retry budget per request on 429 (sleeps for Retry-After)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "llload")
+		return
+	}
+	if *url == "" {
+		fail(fmt.Errorf("-url is required"))
+	}
+	payload := []byte(*body)
+	if *bodyFile != "" {
+		if *body != "" {
+			fail(fmt.Errorf("use -body or -body-file, not both"))
+		}
+		data, err := os.ReadFile(*bodyFile)
+		if err != nil {
+			fail(err)
+		}
+		payload = data
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("llload: %s %s  mode=%s", methodFor(*method, payload), *url, *mode)
+	if *mode == "open" {
+		fmt.Printf(" rate=%g/s", *rate)
+	} else {
+		fmt.Printf(" clients=%d", *concurrency)
+	}
+	fmt.Printf(" duration=%s retries=%d\n", *duration, *retries)
+
+	res, err := loadgen.Run(ctx, loadgen.Options{
+		URL:         *url,
+		Method:      *method,
+		Body:        payload,
+		ContentType: *contentType,
+		Mode:        *mode,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Duration:    *duration,
+		MaxRequests: *maxRequests,
+		Retries:     *retries,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("llload:", res)
+	if res.RetryAfterSeen > 0 {
+		fmt.Printf("llload: %d sheds carried Retry-After hints\n", res.RetryAfterSeen)
+	}
+	if res.OK == 0 && res.Sent > 0 {
+		os.Exit(1)
+	}
+}
+
+func methodFor(m string, body []byte) string {
+	if m != "" {
+		return m
+	}
+	if len(body) > 0 {
+		return "POST"
+	}
+	return "GET"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "llload:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,8 @@
 //	llserved -warm                   # pre-characterize all platforms at startup
 //	llserved -timeout 2m             # default per-request deadline
 //	llserved -workers 8              # per-request simulation concurrency
+//	llserved -limit-ceiling 32       # Little's-Law admission ceiling
+//	llserved -limit-ceiling -1       # disable admission control
 //
 // Endpoints:
 //
@@ -20,12 +22,19 @@
 //	GET  /v1/platforms               the paper's machines
 //	POST /v1/characterize            {"platform":"KNL"} → bandwidth→latency profile
 //	POST /v1/analyze                 workload run or direct measurement → MLP report
+//	POST /v1/analyze/batch           up to 16 analyses in one request
 //	POST /v1/advise                  … → report plus Figure-1 recipe verdicts
 //	POST /v1/tune                    … → autotune session
 //	GET  /v1/tables/{IV..IX}?scale=  regenerated paper table (also T4..T9)
+//	POST /v1/watch                   stream monitor (NDJSON / SSE)
+//	GET  /v1/watch/{stream}          subscribe to a named stream
 //
-// All endpoints accept ?timeout=30s. Shutdown is graceful: SIGINT/SIGTERM
-// stop the listener and wait for in-flight requests.
+// All endpoints accept ?timeout=30s. The /v1/* routes sit behind an
+// admission controller that applies the paper's own law to the server:
+// it tracks occupancy n_avg = Σ λ_route × W_route and sheds with 429 +
+// Retry-After past the -limit-ceiling (cmd/llload drives it). Shutdown is
+// graceful: SIGINT/SIGTERM stop the listener and wait for in-flight
+// requests.
 package main
 
 import (
@@ -55,6 +64,13 @@ func main() {
 	paperProfiles := flag.Bool("paper-profiles", false, "serve the paper's published anchor curves instead of running the X-Mem characterization (instant, deterministic)")
 	warm := flag.Bool("warm", false, "characterize all platforms in the background at startup")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	limitCeiling := flag.Float64("limit-ceiling", 64, "admission controller's Little's-Law occupancy ceiling (negative disables admission control)")
+	limitQueue := flag.Int("limit-queue", 0, "admission queue depth (0 = 2×ceiling, negative = shed immediately)")
+	limitQueueTimeout := flag.Duration("limit-queue-timeout", 5*time.Second, "longest a request waits in the admission queue")
+	maxStreams := flag.Int("max-streams", 64, "max concurrent /v1/watch connections (negative disables the cap)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server read timeout (full request including body)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-write response deadline, re-armed before every write (bounds stalled clients without cutting long-lived streams)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -63,9 +79,14 @@ func main() {
 	}
 
 	cfg := service.Config{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Workers:        *workers,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Workers:           *workers,
+		LimitCeiling:      *limitCeiling,
+		LimitQueue:        *limitQueue,
+		LimitQueueTimeout: *limitQueueTimeout,
+		MaxStreamClients:  *maxStreams,
+		WriteTimeout:      *writeTimeout,
 	}
 	if *paperProfiles {
 		cfg.ProfileFor = func(_ context.Context, p *platform.Platform) (*queueing.Curve, error) {
@@ -89,10 +110,16 @@ func main() {
 		}()
 	}
 
+	// No http.Server WriteTimeout: it is a whole-response deadline that
+	// would sever long-lived /v1/watch streams. The service arms a per-write
+	// deadline (-write-timeout) before each write instead, which bounds
+	// stalled clients while letting healthy streams run indefinitely.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

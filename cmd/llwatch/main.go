@@ -46,6 +46,11 @@ func main() {
 		buildinfo.Print(os.Stdout, "llwatch")
 		return
 	}
+	if *spark < 1 {
+		// -spark 0 would slide an empty history ring and panic; one column
+		// is the narrowest sparkline that still means anything.
+		*spark = 1
+	}
 
 	p, err := platform.ByName(*platName)
 	if err != nil {

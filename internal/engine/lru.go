@@ -73,7 +73,7 @@ func (l *LRU[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, 
 
 		f.val, f.err = protect(ctx, fn)
 		if f.err != nil {
-			l.remove(key, el)
+			l.remove(key, f)
 		}
 		close(f.done)
 		return f.val, false, f.err
@@ -100,11 +100,14 @@ func (l *LRU[K, V]) evictLocked() {
 	}
 }
 
-// remove drops key if it still maps to el (a concurrent Forget+Do may have
-// replaced it).
-func (l *LRU[K, V]) remove(key K, el *list.Element) {
+// remove drops key if it still holds flight f. Matching on the flight —
+// not the list element — is load-bearing: Put replaces the flight inside
+// an existing element in place, so a failed computation matching on the
+// element would erase the concurrently seeded value (and a Forget+Do pair
+// reuses the key with a fresh element, which must survive too).
+func (l *LRU[K, V]) remove(key K, f *flight[V]) {
 	l.mu.Lock()
-	if cur, ok := l.m[key]; ok && cur == el {
+	if el, ok := l.m[key]; ok && el.Value.(*lruEntry[K, V]).f == f {
 		delete(l.m, key)
 		l.order.Remove(el)
 	}

@@ -187,6 +187,117 @@ func TestLRUPutAndForget(t *testing.T) {
 	}
 }
 
+// TestLRUPutDuringFailingFlightKeepsSeededValue is the regression test for
+// the remove-by-element bug: Put replaces the flight inside an in-flight
+// entry's element in place, so when that flight then failed, its cleanup
+// (matching on the element) erased the value Put had just seeded.
+func TestLRUPutDuringFailingFlightKeepsSeededValue(t *testing.T) {
+	l := NewLRU[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	boom := errors.New("boom")
+	go func() {
+		defer close(done)
+		_, _, err := l.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("executor err = %v, want boom", err)
+		}
+	}()
+	<-started
+	l.Put("k", 99)
+	close(release)
+	<-done
+	v, hit, err := l.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, fmt.Errorf("should not run")
+	})
+	if err != nil || v != 99 || !hit {
+		t.Fatalf("Do after Put = (%d, hit=%v, %v), want (99, true, nil)", v, hit, err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+// TestLRUWaiterJoinedBeforePutSeesSeededValue: a waiter that joined the
+// doomed flight before Put must retry and land on the seeded value, not
+// strand or surface the stale failure.
+func TestLRUWaiterJoinedBeforePutSeesSeededValue(t *testing.T) {
+	l := NewLRU[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	boom := errors.New("boom")
+	go l.Do(context.Background(), "k", func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 0, boom
+	})
+	<-started
+
+	waited := make(chan struct{})
+	var wv int
+	var werr error
+	go func() {
+		defer close(waited)
+		wv, _, werr = l.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 0, fmt.Errorf("should not run: value was seeded")
+		})
+	}()
+	// Let the waiter join the flight, then seed and fail the flight.
+	time.Sleep(10 * time.Millisecond)
+	l.Put("k", 42)
+	close(release)
+	<-waited
+	if werr != nil || wv != 42 {
+		t.Fatalf("waiter Do = (%d, %v), want (42, nil)", wv, werr)
+	}
+}
+
+// TestLRUPutDoForgetRace hammers the Put/Do/Forget/failure interleavings
+// under the race detector and checks the capacity invariant holds once
+// every flight has landed.
+func TestLRUPutDoForgetRace(t *testing.T) {
+	const capacity = 4
+	l := NewLRU[int, int](capacity)
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := i % 8
+				switch g % 4 {
+				case 0:
+					l.Do(context.Background(), k, func(context.Context) (int, error) { return k, nil })
+				case 1:
+					l.Do(context.Background(), k, func(context.Context) (int, error) { return 0, boom })
+				case 2:
+					l.Put(k, i)
+				case 3:
+					l.Forget(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every key must still be retrievable (no stranded or corrupted entry)…
+	for k := 0; k < 8; k++ {
+		if _, _, err := l.Do(context.Background(), k, func(context.Context) (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// …and the inserts above re-trigger eviction, so with all flights done
+	// the cache must fit its capacity again.
+	if n := l.Len(); n > capacity {
+		t.Fatalf("Len = %d after quiescence, want <= %d", n, capacity)
+	}
+}
+
 func TestLRUPanicPropagates(t *testing.T) {
 	l := NewLRU[string, int](2)
 	_, _, err := l.Do(context.Background(), "k", func(context.Context) (int, error) { panic("kaboom") })

@@ -1,0 +1,367 @@
+// Package limit applies the paper's own metric to the server that computes
+// it: adaptive admission control via Little's Law. The service's /metrics
+// already derives its long-run average concurrency as latency_sum/uptime;
+// this package turns the same quantity into a *live* control signal. A
+// Limiter measures the admitted arrival rate (an exponentially decayed
+// counter, so bursts fade with a configurable half-life) and the per-route
+// service latency (EWMA), combines them as
+//
+//	n_avg = Σ_routes λ_route × W_route        (Equation 1, per class)
+//
+// and compares max(in-flight, n_avg) against an MSHR-style ceiling — the
+// same shape as the paper's occupancy-vs-capacity verdict for a cache
+// level. Arrivals under the ceiling are admitted; arrivals at the ceiling
+// wait in a bounded FIFO with a deadline; arrivals beyond the queue are
+// shed with a drain-time Retry-After hint, exactly as an MSHR-full cache
+// rejects a new miss rather than queueing unboundedly.
+//
+// The in-flight count gates hard bursts instantly; the Little's-Law term
+// adds memory, so a burst of admissions against a slow route keeps
+// admission closed even while the instantaneous in-flight count transiently
+// dips. On a stationary server the two agree — Equation 1 observed about
+// the observer, now steering it.
+package limit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Config tunes a Limiter. Zero values take the documented defaults.
+type Config struct {
+	// Ceiling is the MSHR-style occupancy limit: admission is denied when
+	// max(in-flight, n_avg) reaches it (0 = 64).
+	Ceiling float64
+	// MaxQueue bounds the admission FIFO where arrivals wait for a slot
+	// once the ceiling is reached (0 = 2×Ceiling rounded up; negative =
+	// no queue, shed immediately).
+	MaxQueue int
+	// QueueTimeout is the per-request deadline a queued arrival waits
+	// before being shed (0 = 5s). The request's own context deadline
+	// applies as well, whichever is sooner.
+	QueueTimeout time.Duration
+	// RateHalfLife is the half-life of the decayed arrival-rate estimator:
+	// how quickly the admitted rate — and with it n_avg — forgets a burst
+	// (0 = 10s).
+	RateHalfLife time.Duration
+	// LatencyAlpha is the per-completion EWMA weight for route service
+	// latency, in (0, 1] (0 = 0.2).
+	LatencyAlpha float64
+	// Now is the clock (tests; nil = time.Now).
+	Now func() time.Time
+}
+
+func (c *Config) normalize() {
+	if c.Ceiling == 0 {
+		c.Ceiling = 64
+	}
+	if c.Ceiling < 1 {
+		c.Ceiling = 1
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = int(math.Ceil(2 * c.Ceiling))
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.RateHalfLife == 0 {
+		c.RateHalfLife = 10 * time.Second
+	}
+	if c.LatencyAlpha == 0 {
+		c.LatencyAlpha = 0.2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// ErrShed is the sentinel every shed decision wraps; errors.Is(err, ErrShed)
+// distinguishes load shedding from context expiry.
+var ErrShed = errors.New("limit: admission denied")
+
+// ShedError reports a shed with the estimated time until a slot frees.
+type ShedError struct {
+	// RetryAfter is the drain-time hint for the client's Retry-After
+	// header, already rounded up to a whole second.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("limit: admission denied, retry after %s", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrShed) true for every ShedError.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// routeStat is the per-route slice of the estimate: an exponentially
+// decayed admission counter and a service-latency EWMA.
+type routeStat struct {
+	count float64   // decayed admissions; λ = count/τ
+	last  time.Time // time of the last decay
+	lat   float64   // EWMA service latency, seconds
+	seen  bool      // lat holds at least one sample
+}
+
+// waiter is one queued arrival: the route it will be admitted on and the
+// channel closed at grant time.
+type waiter struct {
+	route string
+	grant chan struct{}
+}
+
+// Snapshot is a point-in-time view of the limiter for /metrics.
+type Snapshot struct {
+	// NAvg is the live Little's-Law occupancy estimate Σ λ_r × W_r.
+	NAvg float64
+	// Ceiling is the configured occupancy limit.
+	Ceiling float64
+	// InFlight is the number of admitted, uncompleted requests.
+	InFlight int
+	// QueueDepth is the number of arrivals waiting for admission.
+	QueueDepth int
+	// Admitted, Queued and Shed count decisions since construction
+	// (Queued counts arrivals that entered the FIFO; those later granted
+	// also count as Admitted, those timed out also count as Shed).
+	Admitted uint64
+	Queued   uint64
+	Shed     uint64
+}
+
+// Limiter is the adaptive admission controller. Construct with New; all
+// methods are safe for concurrent use.
+type Limiter struct {
+	cfg Config
+	tau float64 // decay time constant, seconds (half-life / ln 2)
+
+	mu       sync.Mutex
+	routes   map[string]*routeStat
+	inflight int
+	queue    []*waiter // FIFO, grant channels closed on admission
+	admitted uint64
+	queued   uint64
+	shed     uint64
+}
+
+// New builds a Limiter.
+func New(cfg Config) *Limiter {
+	cfg.normalize()
+	return &Limiter{
+		cfg:    cfg,
+		tau:    cfg.RateHalfLife.Seconds() / math.Ln2,
+		routes: map[string]*routeStat{},
+	}
+}
+
+// Ceiling returns the configured occupancy limit.
+func (l *Limiter) Ceiling() float64 { return l.cfg.Ceiling }
+
+// Acquire asks to admit one request on the named route. It returns a
+// release function that must be called exactly once when the request
+// completes (it records the service latency and hands the slot to the
+// queue), plus whether the request waited in the queue before admission.
+// A denial returns a *ShedError (matching ErrShed) when the limiter shed
+// the request, or the context's error when ctx expired while queued.
+func (l *Limiter) Acquire(ctx context.Context, route string) (release func(), waited bool, err error) {
+	now := l.cfg.Now()
+	l.mu.Lock()
+	// Admit immediately only past an empty queue (FIFO fairness: a new
+	// arrival never overtakes a queued one).
+	if len(l.queue) == 0 && l.occupancyLocked(now) < l.cfg.Ceiling {
+		l.admitLocked(route, now)
+		l.mu.Unlock()
+		return l.releaser(route, now), false, nil
+	}
+	if l.cfg.MaxQueue < 0 || len(l.queue) >= l.cfg.MaxQueue {
+		l.shed++
+		hint := l.retryAfterLocked(now)
+		l.mu.Unlock()
+		return nil, false, &ShedError{RetryAfter: hint}
+	}
+	w := &waiter{route: route, grant: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.queued++
+	l.mu.Unlock()
+
+	timer := time.NewTimer(l.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.grant:
+		return l.releaser(route, l.cfg.Now()), true, nil
+	case <-ctx.Done():
+		if l.abandon(w) {
+			return nil, true, ctx.Err()
+		}
+		// Granted concurrently with cancellation: hand the slot straight
+		// back (without a latency sample — no work was done).
+		<-w.grant
+		l.relinquish()
+		return nil, true, ctx.Err()
+	case <-timer.C:
+		if l.abandon(w) {
+			l.mu.Lock()
+			l.shed++
+			hint := l.retryAfterLocked(l.cfg.Now())
+			l.mu.Unlock()
+			return nil, true, &ShedError{RetryAfter: hint}
+		}
+		// Granted concurrently with the timeout: the slot is ours, use it.
+		<-w.grant
+		return l.releaser(route, l.cfg.Now()), true, nil
+	}
+}
+
+// admitLocked books one admission on the route: the decayed counter that
+// feeds λ, the in-flight gauge and the decision counter.
+func (l *Limiter) admitLocked(route string, now time.Time) {
+	st := l.route(route)
+	l.decayLocked(st, now)
+	st.count++
+	l.inflight++
+	l.admitted++
+}
+
+// releaser returns the completion callback for an admitted request.
+// Idempotent: extra calls are no-ops.
+func (l *Limiter) releaser(route string, admittedAt time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			lat := l.cfg.Now().Sub(admittedAt).Seconds()
+			if lat < 0 {
+				lat = 0
+			}
+			l.mu.Lock()
+			st := l.route(route)
+			if !st.seen {
+				st.lat, st.seen = lat, true
+			} else {
+				st.lat += l.cfg.LatencyAlpha * (lat - st.lat)
+			}
+			l.inflight--
+			l.grantLocked()
+			l.mu.Unlock()
+		})
+	}
+}
+
+// relinquish returns a slot that was granted but never used (the waiter's
+// context expired as the grant arrived). No latency sample is recorded.
+func (l *Limiter) relinquish() {
+	l.mu.Lock()
+	l.inflight--
+	l.grantLocked()
+	l.mu.Unlock()
+}
+
+// grantLocked admits queued waiters while in-flight slots remain. Grants
+// are driven by the hard in-flight gate, not the n_avg estimate, so every
+// completion frees a slot and the queue always drains.
+func (l *Limiter) grantLocked() {
+	now := l.cfg.Now()
+	for len(l.queue) > 0 && float64(l.inflight) < l.cfg.Ceiling {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.admitLocked(w.route, now)
+		close(w.grant)
+	}
+}
+
+// abandon removes a still-queued waiter, reporting whether it was removed
+// (false means the grant already fired and the slot belongs to the caller).
+func (l *Limiter) abandon(w *waiter) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// route returns the named route's stat, creating it on first use.
+// Callers hold l.mu.
+func (l *Limiter) route(name string) *routeStat {
+	st, ok := l.routes[name]
+	if !ok {
+		st = &routeStat{last: l.cfg.Now()}
+		l.routes[name] = st
+	}
+	return st
+}
+
+// decayLocked ages the route's admission counter to now.
+func (l *Limiter) decayLocked(st *routeStat, now time.Time) {
+	dt := now.Sub(st.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	st.count *= math.Exp(-dt / l.tau)
+	st.last = now
+}
+
+// navgLocked is the live Little's-Law estimate: Σ_routes λ_r × W_r with
+// λ_r the decayed admitted rate and W_r the latency EWMA.
+func (l *Limiter) navgLocked(now time.Time) float64 {
+	var n float64
+	for _, st := range l.routes {
+		l.decayLocked(st, now)
+		n += st.count / l.tau * st.lat
+	}
+	return n
+}
+
+// occupancyLocked is the admission signal: the directly sampled in-flight
+// count or the Little's-Law estimate, whichever is higher.
+func (l *Limiter) occupancyLocked(now time.Time) float64 {
+	return math.Max(float64(l.inflight), l.navgLocked(now))
+}
+
+// retryAfterLocked estimates when a shed client should retry: the time for
+// the queue (plus this request) to drain at the current service rate.
+// Ceiling slots each turning over every W seconds serve Ceiling/W req/s,
+// so the wait is (depth+1) × W / Ceiling, clamped to [1s, 30s] and rounded
+// up to whole seconds (the Retry-After header's resolution).
+func (l *Limiter) retryAfterLocked(now time.Time) time.Duration {
+	var latSum, cntSum float64
+	for _, st := range l.routes {
+		if st.seen {
+			latSum += st.count * st.lat
+			cntSum += st.count
+		}
+	}
+	wait := time.Second
+	if cntSum > 0 {
+		mean := latSum / cntSum
+		est := float64(len(l.queue)+1) * mean / l.cfg.Ceiling
+		wait = time.Duration(math.Ceil(est)) * time.Second
+	}
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	return wait
+}
+
+// Snapshot returns the current state for metrics export.
+func (l *Limiter) Snapshot() Snapshot {
+	now := l.cfg.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Snapshot{
+		NAvg:       l.navgLocked(now),
+		Ceiling:    l.cfg.Ceiling,
+		InFlight:   l.inflight,
+		QueueDepth: len(l.queue),
+		Admitted:   l.admitted,
+		Queued:     l.queued,
+		Shed:       l.shed,
+	}
+}

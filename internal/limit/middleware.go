@@ -1,0 +1,87 @@
+package limit
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RetryAfterSeconds renders a shed hint for the Retry-After header: whole
+// seconds, at least 1.
+func RetryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+// Handler wraps next with admission control keyed on the request path.
+// Shed requests get 429 with a Retry-After header and a JSON error
+// envelope; a context that expires while queued gets 503. This is the
+// standalone form the end-to-end tests drive; the analysis service calls
+// the Limiter directly from its own instrumentation wrapper for per-route
+// metrics.
+func Handler(l *Limiter, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, _, err := l.Acquire(r.Context(), r.URL.Path)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if shed, ok := err.(*ShedError); ok {
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", RetryAfterSeconds(shed.RetryAfter))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Content-Type-Options", "nosniff")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Sessions caps long-lived connections — streaming subscribers — where a
+// latency-based limiter is meaningless (the "request" lasts as long as the
+// client stays). It is the subscriber-count analogue of the Limiter's
+// occupancy ceiling.
+type Sessions struct {
+	max    int64
+	active atomic.Int64
+	denied atomic.Uint64
+}
+
+// NewSessions caps concurrent sessions at max (max <= 0 means 64).
+func NewSessions(max int) *Sessions {
+	if max <= 0 {
+		max = 64
+	}
+	return &Sessions{max: int64(max)}
+}
+
+// Acquire claims a session slot. It returns a release function and true,
+// or nil and false when the cap is reached.
+func (s *Sessions) Acquire() (release func(), ok bool) {
+	if s.active.Add(1) > s.max {
+		s.active.Add(-1)
+		s.denied.Add(1)
+		return nil, false
+	}
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			s.active.Add(-1)
+		}
+	}, true
+}
+
+// Active returns the number of live sessions.
+func (s *Sessions) Active() int { return int(s.active.Load()) }
+
+// Max returns the session cap.
+func (s *Sessions) Max() int { return int(s.max) }
+
+// Denied returns how many acquisitions the cap rejected.
+func (s *Sessions) Denied() uint64 { return s.denied.Load() }

@@ -1,0 +1,320 @@
+// Package loadgen is the llload client: a small HTTP load generator with
+// the two canonical driving disciplines from queueing practice —
+// closed-loop (a fixed population of clients, each waiting for its
+// response before sending the next; throughput self-limits as latency
+// grows) and open-loop (arrivals at a fixed rate regardless of responses;
+// the discipline that actually exposes an overloaded server, because the
+// offered load does not politely back off). Both honor 429 + Retry-After
+// from the service's admission controller with client-side retry/backoff.
+//
+// cmd/llload wraps it as a CLI; the internal/limit end-to-end tests drive
+// it against httptest servers to prove the shed-then-recover behavior.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// URL is the target (required).
+	URL string
+	// Method defaults to POST when Body is non-empty, GET otherwise.
+	Method string
+	// Body is sent with every request.
+	Body []byte
+	// ContentType for the body (default application/json).
+	ContentType string
+	// Mode is "closed" (default) or "open".
+	Mode string
+	// Concurrency is the closed-loop client population (default 1).
+	Concurrency int
+	// Rate is the open-loop arrival rate in requests/second (required in
+	// open mode).
+	Rate float64
+	// Duration bounds the run (default 1s). The context bounds it too.
+	Duration time.Duration
+	// MaxRequests optionally caps total arrivals (0 = unlimited).
+	MaxRequests int
+	// Retries is the per-request retry budget on 429 (default 0). Retries
+	// sleep for the server's Retry-After hint when present, Backoff
+	// otherwise.
+	Retries int
+	// Backoff is the base retry sleep when the server sends no hint
+	// (default 100ms, doubling per attempt).
+	Backoff time.Duration
+	// Timeout is the per-request client timeout (default 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+func (o *Options) normalize() error {
+	if o.URL == "" {
+		return fmt.Errorf("loadgen: URL is required")
+	}
+	if o.Method == "" {
+		if len(o.Body) > 0 {
+			o.Method = http.MethodPost
+		} else {
+			o.Method = http.MethodGet
+		}
+	}
+	if o.ContentType == "" {
+		o.ContentType = "application/json"
+	}
+	switch o.Mode {
+	case "":
+		o.Mode = "closed"
+	case "closed", "open":
+	default:
+		return fmt.Errorf("loadgen: mode must be closed or open, got %q", o.Mode)
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 1
+	}
+	if o.Mode == "open" && !(o.Rate > 0 && !math.IsInf(o.Rate, 0)) {
+		return fmt.Errorf("loadgen: open mode needs a positive rate")
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return nil
+}
+
+// Result aggregates one run. Counts are over arrivals (a request retried
+// twice is one arrival, three attempts).
+type Result struct {
+	mu sync.Mutex
+	// Sent counts arrivals; OK, Shed and Failed partition their final
+	// outcomes (Shed = last attempt got 429; Failed = transport error or
+	// non-2xx/non-429).
+	Sent, OK, Shed, Failed int64
+	// Retries counts extra attempts after 429s.
+	Retries int64
+	// RetryAfterSeen counts 429 responses that carried a Retry-After hint.
+	RetryAfterSeen int64
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+	// latencies holds one sample per successful request.
+	latencies []time.Duration
+}
+
+// Quantile returns the q-th latency quantile (q in [0, 1]) of successful
+// requests, or 0 when none succeeded.
+func (r *Result) Quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(r.latencies))
+	copy(s, r.latencies)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Successes returns the number of latency samples (successful requests).
+func (r *Result) Successes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.latencies)
+}
+
+// String renders the summary line llload prints.
+func (r *Result) String() string {
+	rate := 0.0
+	if r.Elapsed > 0 {
+		rate = float64(r.OK) / r.Elapsed.Seconds()
+	}
+	return fmt.Sprintf(
+		"sent %d  ok %d  shed %d  failed %d  retries %d  |  p50 %s  p90 %s  p99 %s  |  %.1f ok/s",
+		r.Sent, r.OK, r.Shed, r.Failed, r.Retries,
+		r.Quantile(0.50).Round(time.Millisecond/10),
+		r.Quantile(0.90).Round(time.Millisecond/10),
+		r.Quantile(0.99).Round(time.Millisecond/10),
+		rate)
+}
+
+func (r *Result) record(outcome func(*Result), lat time.Duration) {
+	r.mu.Lock()
+	outcome(r)
+	if lat > 0 {
+		r.latencies = append(r.latencies, lat)
+	}
+	r.mu.Unlock()
+}
+
+// Run drives the target until the duration (or context, or MaxRequests)
+// expires and returns the aggregate. The error reports option problems
+// only — a run against a shedding or failing server is a successful run
+// with non-zero Shed/Failed counts.
+func Run(ctx context.Context, o Options) (*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, o.Duration)
+	defer cancel()
+
+	var budget *int64
+	if o.MaxRequests > 0 {
+		b := int64(o.MaxRequests)
+		budget = &b
+	}
+	take := func() bool {
+		if budget == nil {
+			return true
+		}
+		res.mu.Lock()
+		defer res.mu.Unlock()
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		return true
+	}
+
+	var wg sync.WaitGroup
+	if o.Mode == "closed" {
+		for w := 0; w < o.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil && take() {
+					attempt(ctx, &o, res)
+				}
+			}()
+		}
+	} else {
+		interval := time.Duration(float64(time.Second) / o.Rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+	arrivals:
+		for {
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-ticker.C:
+				if !take() {
+					break arrivals
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					attempt(ctx, &o, res)
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// attempt issues one arrival, retrying 429s within the budget while the
+// context lives. In-flight requests use the per-request timeout, not the
+// run deadline, so arrivals near the end of the window still complete.
+func attempt(ctx context.Context, o *Options, res *Result) {
+	res.record(func(r *Result) { r.Sent++ }, 0)
+	backoff := o.Backoff
+	for try := 0; ; try++ {
+		status, hinted, hint, lat, err := once(o)
+		switch {
+		case err != nil:
+			res.record(func(r *Result) { r.Failed++ }, 0)
+			return
+		case status >= 200 && status < 300:
+			res.record(func(r *Result) { r.OK++ }, lat)
+			return
+		case status == http.StatusTooManyRequests:
+			if hinted {
+				res.record(func(r *Result) { r.RetryAfterSeen++ }, 0)
+			}
+			if try >= o.Retries || ctx.Err() != nil {
+				res.record(func(r *Result) { r.Shed++ }, 0)
+				return
+			}
+			sleep := backoff
+			if hinted {
+				sleep = hint
+			}
+			backoff *= 2
+			res.record(func(r *Result) { r.Retries++ }, 0)
+			select {
+			case <-ctx.Done():
+				res.record(func(r *Result) { r.Shed++ }, 0)
+				return
+			case <-time.After(sleep):
+			}
+		default:
+			res.record(func(r *Result) { r.Failed++ }, 0)
+			return
+		}
+	}
+}
+
+// once sends a single request and reports (status, retry-after present,
+// retry-after value, latency, transport error).
+func once(o *Options) (status int, hinted bool, hint time.Duration, lat time.Duration, err error) {
+	reqCtx, cancel := context.WithTimeout(context.Background(), o.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, o.Method, o.URL, bytes.NewReader(o.Body))
+	if err != nil {
+		return 0, false, 0, 0, err
+	}
+	if len(o.Body) > 0 {
+		req.Header.Set("Content-Type", o.ContentType)
+	}
+	begin := time.Now()
+	resp, err := o.Client.Do(req)
+	if err != nil {
+		return 0, false, 0, 0, err
+	}
+	// Drain so the connection is reusable.
+	buf := make([]byte, 512)
+	for {
+		if _, rerr := resp.Body.Read(buf); rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	lat = time.Since(begin)
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
+			hinted, hint = true, time.Duration(secs)*time.Second
+		}
+	}
+	return resp.StatusCode, hinted, hint, lat, nil
+}

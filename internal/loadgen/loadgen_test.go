@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("missing URL accepted")
+	}
+	if _, err := Run(context.Background(), Options{URL: "http://x", Mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if _, err := Run(context.Background(), Options{URL: "http://x", Mode: "open"}); err == nil {
+		t.Fatal("open mode without rate accepted")
+	}
+}
+
+func TestClosedLoopMaxRequests(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{
+		URL: ts.URL, Mode: "closed", Concurrency: 3, MaxRequests: 7, Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 7 || res.OK != 7 || hits.Load() != 7 {
+		t.Fatalf("res = %s, server hits = %d, want exactly 7", res, hits.Load())
+	}
+	if res.Successes() != 7 {
+		t.Fatalf("latency samples = %d, want 7", res.Successes())
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	start := time.Now()
+	res, err := Run(context.Background(), Options{
+		URL: ts.URL, MaxRequests: 1, Retries: 2, Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 1 || res.OK != 1 || res.Shed != 0 || res.Retries != 1 || res.RetryAfterSeen != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	// The retry must actually have slept for the server's 1s hint.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %s, want >= the 1s Retry-After hint", elapsed)
+	}
+}
+
+func TestShedWithoutRetryBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{URL: ts.URL, MaxRequests: 3, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 3 || res.Shed != 3 || res.OK != 0 || res.Retries != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// No Retry-After header was sent, so none should be counted.
+	if res.RetryAfterSeen != 0 {
+		t.Fatalf("RetryAfterSeen = %d, want 0", res.RetryAfterSeen)
+	}
+}
+
+func TestNonOKStatusCountsFailed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{URL: ts.URL, MaxRequests: 2, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 || res.OK != 0 || res.Shed != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestOpenLoopOffersAtRate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{
+		URL: ts.URL, Mode: "open", Rate: 200, Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~100 arrivals expected; allow generous scheduler slack either way.
+	if res.Sent < 50 || res.Sent > 150 {
+		t.Fatalf("open loop sent %d in 500ms at 200/s, want ≈100", res.Sent)
+	}
+	if res.OK != res.Sent {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := &Result{}
+	for _, ms := range []int{50, 10, 30, 20, 40} {
+		r.latencies = append(r.latencies, time.Duration(ms)*time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.0, 10 * time.Millisecond},
+		{0.5, 30 * time.Millisecond},
+		{0.99, 50 * time.Millisecond},
+		{1.0, 50 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := r.Quantile(tc.q); got != tc.want {
+			t.Fatalf("Quantile(%v) = %s, want %s", tc.q, got, tc.want)
+		}
+	}
+	if (&Result{}).Quantile(0.5) != 0 {
+		t.Fatal("empty Quantile should be 0")
+	}
+}

@@ -172,6 +172,15 @@ func (r *Registry) Derived(name, help string, fn func() float64) {
 	})
 }
 
+// DerivedCounter registers a counter whose value is read at scrape time —
+// for monotonic counts maintained outside the registry (the admission
+// limiter keeps its own totals under its own lock).
+func (r *Registry) DerivedCounter(name, help string, fn func() uint64) {
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	})
+}
+
 // CounterVec is a family of counters keyed by label values.
 type CounterVec struct {
 	labels   []string

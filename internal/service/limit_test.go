@@ -1,0 +1,205 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"littleslaw/internal/experiments"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/queueing"
+)
+
+// blockingProfile is a profile hook the test releases explicitly, to pin
+// a request in flight while others arrive.
+type blockingProfile struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockingProfile() *blockingProfile {
+	return &blockingProfile{entered: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (b *blockingProfile) fn(ctx context.Context, p *platform.Platform) (*queueing.Curve, error) {
+	b.entered <- struct{}{}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return experiments.PaperProfileFor(p)
+}
+
+const analyzeBody = `{"platform": "SKL", "measurement": {"bandwidth_gbs": 80}}`
+
+func TestAdmissionShedReturns429WithRetryAfter(t *testing.T) {
+	bp := newBlockingProfile()
+	_, ts := newTestServer(t, Config{
+		ProfileFor:   bp.fn,
+		LimitCeiling: 1,
+		LimitQueue:   -1, // no queue: the second arrival sheds immediately
+	})
+	defer bp.once.Do(func() { close(bp.release) })
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(analyzeBody))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-bp.entered // the first request holds the limiter's only slot
+
+	resp, body := post(t, ts, "/v1/analyze", analyzeBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("shed body = %q (%v), want the JSON error envelope", body, err)
+	}
+
+	bp.once.Do(func() { close(bp.release) })
+	<-firstDone
+	// With the slot free again, the same request is admitted.
+	resp, body = post(t, ts, "/v1/analyze", analyzeBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed status = %d, want 200: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	bp := newBlockingProfile()
+	_, ts := newTestServer(t, Config{
+		ProfileFor:        bp.fn,
+		LimitCeiling:      1,
+		LimitQueue:        4,
+		LimitQueueTimeout: 5 * time.Second,
+	})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(analyzeBody))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-bp.entered
+
+	// The second request queues; releasing the first must grant it.
+	secondStatus := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(analyzeBody))
+		if err != nil {
+			secondStatus <- -1
+			return
+		}
+		resp.Body.Close()
+		secondStatus <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let it reach the queue
+	bp.once.Do(func() { close(bp.release) })
+	<-firstDone
+	if code := <-secondStatus; code != http.StatusOK {
+		t.Fatalf("queued request finished %d, want 200", code)
+	}
+}
+
+func TestAnalyzeBatch(t *testing.T) {
+	stub := &profileStub{}
+	_, ts := newTestServer(t, Config{ProfileFor: stub.fn})
+	resp, body := post(t, ts, "/v1/analyze/batch", `{"requests": [
+		{"platform": "SKL", "measurement": {"bandwidth_gbs": 80}},
+		{"platform": "NOPE", "measurement": {"bandwidth_gbs": 80}},
+		{"platform": "KNL", "measurement": {"bandwidth_gbs": 200, "random_access": true}}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out BatchAnalyzeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 || out.Errors != 1 {
+		t.Fatalf("results = %d, errors = %d: %s", len(out.Results), out.Errors, body)
+	}
+	if out.Results[0].Analyze == nil || out.Results[0].Analyze.Report.Platform != "SKL" {
+		t.Fatalf("results[0] = %+v", out.Results[0])
+	}
+	if out.Results[1].Analyze != nil || out.Results[1].Error == "" {
+		t.Fatalf("results[1] should carry the per-item error: %+v", out.Results[1])
+	}
+	if out.Results[2].Analyze == nil || out.Results[2].Analyze.Report.Platform != "KNL" {
+		t.Fatalf("results[2] = %+v", out.Results[2])
+	}
+}
+
+func TestAnalyzeBatchValidation(t *testing.T) {
+	stub := &profileStub{}
+	_, ts := newTestServer(t, Config{ProfileFor: stub.fn})
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", `{"requests": []}`},
+		{"missing", `{}`},
+		{"oversized", `{"requests": [` + strings.Repeat(`{"platform":"SKL","measurement":{"bandwidth_gbs":1}},`, MaxBatchSize) +
+			`{"platform":"SKL","measurement":{"bandwidth_gbs":1}}]}`},
+		{"bad-item", `{"requests": [{"platform": ""}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, "/v1/analyze/batch", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+func TestLimiterMetricsExported(t *testing.T) {
+	stub := &profileStub{}
+	_, ts := newTestServer(t, Config{ProfileFor: stub.fn})
+	// One admitted request so the decision counter has a row.
+	if resp, body := post(t, ts, "/v1/analyze", analyzeBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze = %d: %s", resp.StatusCode, body)
+	}
+	_, metricsBody := get(t, ts, "/metrics")
+	for _, want := range []string{
+		"llserved_limiter_navg ",
+		"llserved_limiter_ceiling 64",
+		"llserved_limiter_inflight ",
+		"llserved_limiter_queue_depth 0",
+		"llserved_limiter_shed_total 0",
+		"llserved_limiter_admitted_total 1",
+		`llserved_limiter_decisions_total{handler="analyze",decision="admitted"} 1`,
+		"llserved_stream_clients 0",
+		"llserved_stream_denied_total 0",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	stub := &profileStub{}
+	_, ts := newTestServer(t, Config{ProfileFor: stub.fn, LimitCeiling: -1, MaxStreamClients: -1})
+	resp, body := post(t, ts, "/v1/analyze", analyzeBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	_, metricsBody := get(t, ts, "/metrics")
+	if strings.Contains(string(metricsBody), "llserved_limiter_navg") {
+		t.Fatal("limiter metrics exported with admission control disabled")
+	}
+}

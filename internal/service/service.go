@@ -28,6 +28,7 @@ import (
 	"littleslaw/internal/core"
 	"littleslaw/internal/engine"
 	"littleslaw/internal/experiments"
+	"littleslaw/internal/limit"
 	"littleslaw/internal/metrics"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
@@ -65,6 +66,27 @@ type Config struct {
 	Platforms []string
 	// Registry receives the service metrics (nil = a fresh registry).
 	Registry *metrics.Registry
+
+	// LimitCeiling is the admission controller's Little's-Law occupancy
+	// ceiling: requests are admitted while max(in-flight, λ·W) stays under
+	// it, queued briefly at it, and shed with 429 + Retry-After beyond the
+	// queue (0 = 64; negative disables admission control).
+	LimitCeiling float64
+	// LimitQueue bounds the admission FIFO (0 = 2×ceiling; negative =
+	// shed immediately with no queue).
+	LimitQueue int
+	// LimitQueueTimeout is the per-request deadline while queued for
+	// admission (0 = 5s; the request's own deadline also applies).
+	LimitQueueTimeout time.Duration
+	// MaxStreamClients caps concurrent /v1/watch connections — streams are
+	// limited by subscriber count, not latency, because a healthy stream
+	// lasts as long as its client (0 = 64; negative disables the cap).
+	MaxStreamClients int
+	// WriteTimeout is the per-write deadline armed immediately before each
+	// response write (0 = 1m). It bounds how long a stalled client can
+	// hold a connection without imposing a whole-response deadline that
+	// would kill long-lived /v1/watch streams.
+	WriteTimeout time.Duration
 }
 
 func (c *Config) normalize() {
@@ -86,6 +108,18 @@ func (c *Config) normalize() {
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
+	if c.LimitCeiling == 0 {
+		c.LimitCeiling = 64
+	}
+	if c.LimitQueueTimeout == 0 {
+		c.LimitQueueTimeout = 5 * time.Second
+	}
+	if c.MaxStreamClients == 0 {
+		c.MaxStreamClients = 64
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
 }
 
 // tableKey identifies one cached table regeneration.
@@ -104,10 +138,14 @@ type Server struct {
 	tables   *engine.LRU[tableKey, *experiments.Table]
 	runners  *engine.LRU[float64, *experiments.Runner]
 
+	limiter  *limit.Limiter
+	sessions *limit.Sessions
+
 	requests    *metrics.CounterVec
 	latency     *metrics.HistogramVec
 	inflight    *metrics.Gauge
 	cacheEvents *metrics.CounterVec
+	admissions  *metrics.CounterVec
 
 	streamSubs    *metrics.GaugeVec
 	streamEvents  *metrics.CounterVec
@@ -130,6 +168,16 @@ func New(cfg Config) *Server {
 		runners:  engine.NewLRU[float64, *experiments.Runner](cfg.RunnerCacheSize),
 		watches:  map[string]*stream.Broker{},
 	}
+	if cfg.LimitCeiling > 0 {
+		s.limiter = limit.New(limit.Config{
+			Ceiling:      cfg.LimitCeiling,
+			MaxQueue:     cfg.LimitQueue,
+			QueueTimeout: cfg.LimitQueueTimeout,
+		})
+	}
+	if cfg.MaxStreamClients > 0 {
+		s.sessions = limit.NewSessions(cfg.MaxStreamClients)
+	}
 	s.requests = s.reg.CounterVec("llserved_requests_total",
 		"Completed HTTP requests by handler and status code.", "handler", "code")
 	s.latency = s.reg.HistogramVec("llserved_request_seconds",
@@ -148,6 +196,37 @@ func New(cfg Config) *Server {
 		"The server's own n_avg from Little's Law: request latency_sum over uptime "+
 			"(Equation 1 applied to the service; compare llserved_inflight_requests).",
 		func() float64 { return s.reg.LittleConcurrency(s.latency) })
+	s.admissions = s.reg.CounterVec("llserved_limiter_decisions_total",
+		"Admission decisions by handler and outcome (admitted, queued, shed, expired).",
+		"handler", "decision")
+	if s.limiter != nil {
+		s.reg.Derived("llserved_limiter_navg",
+			"The admission controller's live Little's-Law occupancy estimate Σ λ_route × W_route.",
+			func() float64 { return s.limiter.Snapshot().NAvg })
+		s.reg.Derived("llserved_limiter_ceiling",
+			"The admission controller's MSHR-style occupancy ceiling.",
+			func() float64 { return s.limiter.Ceiling() })
+		s.reg.Derived("llserved_limiter_inflight",
+			"Requests currently admitted by the limiter and not yet complete.",
+			func() float64 { return float64(s.limiter.Snapshot().InFlight) })
+		s.reg.Derived("llserved_limiter_queue_depth",
+			"Arrivals waiting in the bounded admission FIFO.",
+			func() float64 { return float64(s.limiter.Snapshot().QueueDepth) })
+		s.reg.DerivedCounter("llserved_limiter_shed_total",
+			"Arrivals shed with 429 + Retry-After (queue full or queue deadline hit).",
+			func() uint64 { return s.limiter.Snapshot().Shed })
+		s.reg.DerivedCounter("llserved_limiter_admitted_total",
+			"Arrivals admitted by the limiter (immediately or after queueing).",
+			func() uint64 { return s.limiter.Snapshot().Admitted })
+	}
+	if s.sessions != nil {
+		s.reg.Derived("llserved_stream_clients",
+			"Live /v1/watch connections counted against the subscriber cap.",
+			func() float64 { return float64(s.sessions.Active()) })
+		s.reg.DerivedCounter("llserved_stream_denied_total",
+			"/v1/watch connections rejected at the subscriber cap.",
+			func() uint64 { return s.sessions.Denied() })
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
@@ -155,11 +234,12 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/platforms", s.instrument("platforms", s.handlePlatforms))
 	s.mux.Handle("POST /v1/characterize", s.instrument("characterize", s.handleCharacterize))
 	s.mux.Handle("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.Handle("POST /v1/analyze/batch", s.instrument("analyze_batch", s.handleAnalyzeBatch))
 	s.mux.Handle("POST /v1/advise", s.instrument("advise", s.handleAdvise))
 	s.mux.Handle("POST /v1/tune", s.instrument("tune", s.handleTune))
 	s.mux.Handle("GET /v1/tables/{id}", s.instrument("tables", s.handleTable))
-	s.mux.Handle("POST /v1/watch", s.instrument("watch", s.handleWatch))
-	s.mux.Handle("GET /v1/watch/{stream}", s.instrument("watch_subscribe", s.handleWatchSubscribe))
+	s.mux.Handle("POST /v1/watch", s.instrumentStream("watch", s.handleWatch))
+	s.mux.Handle("GET /v1/watch/{stream}", s.instrumentStream("watch_subscribe", s.handleWatchSubscribe))
 	return s
 }
 
@@ -169,10 +249,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the metrics registry serving /metrics.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// httpError carries a status code chosen at the failure site.
+// httpError carries a status code chosen at the failure site, plus an
+// optional Retry-After hint for shed requests.
 type httpError struct {
-	status int
-	err    error
+	status     int
+	err        error
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
@@ -180,9 +262,65 @@ func (e *httpError) Unwrap() error { return e.err }
 
 func failWith(status int, err error) error { return &httpError{status: status, err: err} }
 
-// instrument wraps a handler with the per-request envelope: timeout
-// context, in-flight gauge, latency histogram and request counter.
+func failWithRetry(status int, err error, retryAfter time.Duration) error {
+	return &httpError{status: status, err: err, retryAfter: retryAfter}
+}
+
+// admitFunc asks an admission gate for permission to run a request,
+// returning the release callback to invoke on completion.
+type admitFunc func(r *http.Request) (release func(), err error)
+
+// instrument wraps a handler with the per-request envelope — timeout
+// context, in-flight gauge, latency histogram, request counter — behind
+// the Little's-Law admission controller: the limiter measures this route's
+// arrival rate and latency, and sheds with 429 + Retry-After when
+// occupancy would pass the ceiling.
 func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return s.envelope(name, fn, func(r *http.Request) (func(), error) {
+		if s.limiter == nil {
+			return func() {}, nil
+		}
+		release, waited, err := s.limiter.Acquire(r.Context(), name)
+		if err != nil {
+			var shed *limit.ShedError
+			if errors.As(err, &shed) {
+				s.admissions.With(name, "shed").Inc()
+				return nil, failWithRetry(http.StatusTooManyRequests,
+					fmt.Errorf("admission denied: server occupancy at ceiling"), shed.RetryAfter)
+			}
+			// The request's own deadline expired while queued; the usual
+			// context mapping (504/499) applies.
+			s.admissions.With(name, "expired").Inc()
+			return nil, err
+		}
+		if waited {
+			s.admissions.With(name, "queued").Inc()
+		}
+		s.admissions.With(name, "admitted").Inc()
+		return release, nil
+	})
+}
+
+// instrumentStream is instrument for the streaming routes: /v1/watch
+// connections are long-lived, so a latency-based limiter would misread
+// them — they are capped by concurrent subscriber count instead.
+func (s *Server) instrumentStream(name string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return s.envelope(name, fn, func(r *http.Request) (func(), error) {
+		if s.sessions == nil {
+			return func() {}, nil
+		}
+		release, ok := s.sessions.Acquire()
+		if !ok {
+			s.admissions.With(name, "shed").Inc()
+			return nil, failWithRetry(http.StatusTooManyRequests,
+				fmt.Errorf("stream client limit (%d) reached", s.sessions.Max()), 5*time.Second)
+		}
+		s.admissions.With(name, "admitted").Inc()
+		return release, nil
+	})
+}
+
+func (s *Server) envelope(name string, fn func(w http.ResponseWriter, r *http.Request) error, admit admitFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.inflight.Inc()
@@ -195,6 +333,15 @@ func (s *Server) instrument(name string, fn func(w http.ResponseWriter, r *http.
 		}
 		defer cancel()
 		r = r.WithContext(ctx)
+
+		// Admission happens under the request context, so a queued arrival
+		// waits at most min(queue deadline, request deadline).
+		release, err := admit(r)
+		if err != nil {
+			s.finish(name, start, s.writeError(w, r, err))
+			return
+		}
+		defer release()
 
 		sw := &statusWriter{ResponseWriter: w}
 		if err := fn(sw, r); err != nil {
@@ -250,9 +397,29 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) i
 		status = 499
 	case errors.As(err, &he):
 		status = he.status
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", limit.RetryAfterSeconds(he.retryAfter))
+		}
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
 	return status
+}
+
+// armWrite arms the per-write deadline immediately before a response
+// write: a stalled client can hold the connection for at most WriteTimeout
+// past its last successful write, while a healthy long-lived stream is
+// never cut. Writers without deadline support (httptest recorders) are
+// left alone.
+func (s *Server) armWrite(w http.ResponseWriter) {
+	if s.cfg.WriteTimeout <= 0 {
+		return
+	}
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.armWrite(w)
+	writeJSON(w, status, v)
 }
 
 // hardenHeaders is the one place response hardening happens: every
@@ -366,11 +533,13 @@ func (s *Server) cacheEvent(cache string, hit bool) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hardenHeaders(w.Header(), "text/plain; charset=utf-8", false)
+	s.armWrite(w)
 	io.WriteString(w, "ok\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hardenHeaders(w.Header(), "text/plain; version=0.0.4", false)
+	s.armWrite(w)
 	s.reg.WritePrometheus(w)
 }
 
@@ -390,7 +559,7 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) error {
 			L2MSHRs:   p.L2.MSHRs,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 	return nil
 }
 
@@ -415,7 +584,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) erro
 	for _, pt := range curve.Points() {
 		resp.Points = append(resp.Points, PointJSON{BandwidthGBs: pt.BandwidthGBs, LatencyNs: pt.LatencyNs})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -463,6 +632,28 @@ func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*plat
 	return p, m, res, w, nil
 }
 
+// analyzeOne runs one analyze request to a response — the shared core of
+// /v1/analyze and /v1/analyze/batch.
+func (s *Server) analyzeOne(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	p, m, res, _, err := s.resolveAnalyze(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	profile, _, err := s.profile(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Analyze(p, profile, m)
+	if err != nil {
+		return nil, failWith(http.StatusBadRequest, err)
+	}
+	resp := &AnalyzeResponse{Report: reportJSON(rep), Explanation: core.Explain(rep)}
+	if res != nil {
+		resp.Run = runJSON(res)
+	}
+	return resp, nil
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
 	body, err := readBody(r)
 	if err != nil {
@@ -472,23 +663,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return failWith(http.StatusBadRequest, err)
 	}
-	p, m, res, _, err := s.resolveAnalyze(r.Context(), req)
+	resp, err := s.analyzeOne(r.Context(), req)
 	if err != nil {
 		return err
 	}
-	profile, _, err := s.profile(r.Context(), p)
-	if err != nil {
-		return err
-	}
-	rep, err := core.Analyze(p, profile, m)
-	if err != nil {
-		return failWith(http.StatusBadRequest, err)
-	}
-	resp := AnalyzeResponse{Report: reportJSON(rep), Explanation: core.Explain(rep)}
-	if res != nil {
-		resp.Run = runJSON(res)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -525,7 +704,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) error {
 			Reason:       a.Reason,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -575,7 +754,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) error {
 			Report:   reportJSON(st.Report),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -630,6 +809,6 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) error {
 		}
 		resp.Rows = append(resp.Rows, jr)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }

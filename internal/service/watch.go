@@ -339,6 +339,7 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, label strin
 	defer gauge.Dec()
 
 	hardenHeaders(w.Header(), contentType, true)
+	s.armWrite(w)
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	rc.Flush()
@@ -352,6 +353,10 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, label strin
 			if !ok {
 				return nil
 			}
+			// Re-arm before every event: the deadline bounds each write, not
+			// the stream — a healthy subscriber can stay for hours while a
+			// stalled one is cut WriteTimeout after its last drained write.
+			s.armWrite(w)
 			if sse {
 				data, err := json.Marshal(ev)
 				if err != nil {

@@ -1,5 +1,7 @@
 package stream
 
+import "math"
+
 // WindowStat is the aggregate the sliding window emits every stride once
 // it is full.
 type WindowStat struct {
@@ -41,7 +43,18 @@ func NewWindow(width, stride int) *Window {
 }
 
 // Push adds one sample and returns the window aggregate when one is due.
+// Non-finite sample fields are sanitized on entry: the running sums are
+// maintained incrementally, and one NaN bandwidth would poison them forever
+// (NaN−NaN is still NaN when the sample is later evicted), turning a single
+// bad counter read into a permanently-NaN monitor. A NaN/±Inf bandwidth
+// counts as 0; a non-finite prefetch fraction counts as unknown.
 func (w *Window) Push(s Sample) (WindowStat, bool) {
+	if math.IsNaN(s.BandwidthGBs) || math.IsInf(s.BandwidthGBs, 0) {
+		s.BandwidthGBs = 0
+	}
+	if math.IsNaN(s.PrefetchedReadFraction) || math.IsInf(s.PrefetchedReadFraction, 0) {
+		s.PrefetchedReadFraction = -1
+	}
 	slot := w.n % w.width
 	if w.n >= w.width {
 		old := w.buf[slot]

@@ -187,3 +187,25 @@ func TestSliceSourceHonorsContext(t *testing.T) {
 		t.Fatal("cancelled context not honored")
 	}
 }
+
+// TestWindowNonFiniteSamplesDoNotPoison: the running sums are incremental,
+// so without sanitizing, one NaN bandwidth sample would keep the mean NaN
+// forever — NaN−NaN is still NaN when the sample is evicted.
+func TestWindowNonFiniteSamplesDoNotPoison(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		w := NewWindow(2, 1)
+		w.Push(Sample{TS: 0, BandwidthGBs: bad, PrefetchedReadFraction: bad})
+		stat, ok := w.Push(Sample{TS: 1, BandwidthGBs: 4, PrefetchedReadFraction: 0.5})
+		if !ok || stat.MeanBandwidthGBs != 2 {
+			t.Fatalf("bad=%v: stat with sanitized sample = %+v ok=%v, want mean 2", bad, stat, ok)
+		}
+		if stat.PrefetchN != 1 || stat.PrefetchSum != 0.5 {
+			t.Fatalf("bad=%v: prefetch aggregate = %+v, want one known sample", bad, stat)
+		}
+		// After the bad sample is evicted the window must recover exactly.
+		stat, ok = w.Push(Sample{TS: 2, BandwidthGBs: 6, PrefetchedReadFraction: 0.25})
+		if !ok || stat.MeanBandwidthGBs != 5 || stat.PrefetchN != 2 {
+			t.Fatalf("bad=%v: stat after eviction = %+v ok=%v, want mean 5", bad, stat, ok)
+		}
+	}
+}

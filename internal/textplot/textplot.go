@@ -177,42 +177,55 @@ func maxInt(a, b int) int {
 var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
 
 // Sparkline renders values as a one-line sparkline scaled to [lo, hi].
-// When hi <= lo the range autoscales to the data. Values outside the range
-// clamp to the end glyphs, and NaNs render as spaces — a live monitor can
-// pass a fixed ceiling (an MSHR capacity) so a full block always means
-// "at the limit".
+// When the range is empty (hi <= lo) or not finite, it autoscales to the
+// finite data. Values outside the range clamp to the end glyphs, ±Inf
+// clamps likewise, and NaNs render as spaces — a live monitor can pass a
+// fixed ceiling (an MSHR capacity) so a full block always means "at the
+// limit".
 func Sparkline(values []float64, lo, hi float64) string {
 	if len(values) == 0 {
 		return ""
 	}
-	if hi <= lo {
+	if !isFinite(lo) || !isFinite(hi) || hi <= lo {
 		lo, hi = math.Inf(1), math.Inf(-1)
 		for _, v := range values {
-			if math.IsNaN(v) {
+			if !isFinite(v) {
 				continue
 			}
 			lo = math.Min(lo, v)
 			hi = math.Max(hi, v)
 		}
-		if hi <= lo { // all equal (or all NaN): mid-height line
+		if !isFinite(lo) || !isFinite(hi) { // no finite samples at all
+			lo, hi = 0, 1
+		}
+		if hi <= lo { // all equal: mid-height line
 			hi = lo + 1
 			lo -= 1
 		}
 	}
 	var sb strings.Builder
 	for _, v := range values {
-		if math.IsNaN(v) {
+		switch {
+		case math.IsNaN(v):
 			sb.WriteByte(' ')
 			continue
+		case math.IsInf(v, 1):
+			v = hi
+		case math.IsInf(v, -1):
+			v = lo
 		}
-		i := int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)))
-		if i < 0 {
-			i = 0
+		// Clamp in float space: converting an out-of-range float64 to int
+		// is implementation-specific in Go, so the clamp must come first.
+		pos := (v - lo) / (hi - lo) * float64(len(sparkGlyphs))
+		if !(pos > 0) {
+			pos = 0
 		}
-		if i >= len(sparkGlyphs) {
-			i = len(sparkGlyphs) - 1
+		if pos > float64(len(sparkGlyphs)-1) {
+			pos = float64(len(sparkGlyphs) - 1)
 		}
-		sb.WriteRune(sparkGlyphs[i])
+		sb.WriteRune(sparkGlyphs[int(pos)])
 	}
 	return sb.String()
 }
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

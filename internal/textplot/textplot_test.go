@@ -105,3 +105,34 @@ func TestSparklineAutoscaleAndNaN(t *testing.T) {
 		t.Fatalf("flat = %q", flat)
 	}
 }
+
+func TestSparklineNonFiniteEdges(t *testing.T) {
+	top := string(sparkGlyphs[len(sparkGlyphs)-1])
+	bottom := string(sparkGlyphs[0])
+	cases := []struct {
+		name   string
+		values []float64
+		lo, hi float64
+		want   string // empty = only assert no panic and rune count
+	}{
+		{"inf-value-clamps-high", []float64{0, math.Inf(1)}, 0, 10, bottom + top},
+		{"neg-inf-value-clamps-low", []float64{math.Inf(-1), 10}, 0, 10, bottom + top},
+		{"nan-range-autoscales", []float64{1, 2}, math.NaN(), math.NaN(), ""},
+		{"inf-range-autoscales", []float64{1, 2}, math.Inf(-1), math.Inf(1), ""},
+		{"all-nan", []float64{math.NaN(), math.NaN()}, 0, 0, "  "},
+		{"all-inf-autoscale", []float64{math.Inf(1), math.Inf(-1)}, 0, 0, top + bottom},
+		{"mixed-nonfinite-autoscale", []float64{math.NaN(), math.Inf(1), 5}, 0, 0, ""},
+		{"empty-range-single", []float64{7}, 3, 3, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Sparkline(tc.values, tc.lo, tc.hi)
+			if n := len([]rune(got)); n != len(tc.values) {
+				t.Fatalf("Sparkline = %q (%d runes), want %d", got, n, len(tc.values))
+			}
+			if tc.want != "" && got != tc.want {
+				t.Fatalf("Sparkline = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
