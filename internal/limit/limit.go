@@ -13,7 +13,10 @@
 // level. Arrivals under the ceiling are admitted; arrivals at the ceiling
 // wait in a bounded FIFO with a deadline; arrivals beyond the queue are
 // shed with a drain-time Retry-After hint, exactly as an MSHR-full cache
-// rejects a new miss rather than queueing unboundedly.
+// rejects a new miss rather than queueing unboundedly. The queue drains on
+// completions and — when the memory term alone holds admission shut with
+// nothing in flight, so no completion is coming — on later arrivals and a
+// decay-horizon timer, so an idle server always recovers.
 //
 // The in-flight count gates hard bursts instantly; the Little's-Law term
 // adds memory, so a burst of admissions against a slow route keeps
@@ -44,6 +47,11 @@ type Config struct {
 	// before being shed (0 = 5s). The request's own context deadline
 	// applies as well, whichever is sooner.
 	QueueTimeout time.Duration
+	// MaxRoutes caps the per-route stats map: once it holds MaxRoutes
+	// entries, further distinct route names share one overflow bucket, so
+	// a client fabricating unique paths can neither grow memory without
+	// bound nor fragment the n_avg estimate into useless slivers (0 = 512).
+	MaxRoutes int
 	// RateHalfLife is the half-life of the decayed arrival-rate estimator:
 	// how quickly the admitted rate — and with it n_avg — forgets a burst
 	// (0 = 10s).
@@ -67,6 +75,9 @@ func (c *Config) normalize() {
 	}
 	if c.QueueTimeout == 0 {
 		c.QueueTimeout = 5 * time.Second
+	}
+	if c.MaxRoutes <= 0 {
+		c.MaxRoutes = 512
 	}
 	if c.RateHalfLife == 0 {
 		c.RateHalfLife = 10 * time.Second
@@ -137,13 +148,14 @@ type Limiter struct {
 	cfg Config
 	tau float64 // decay time constant, seconds (half-life / ln 2)
 
-	mu       sync.Mutex
-	routes   map[string]*routeStat
-	inflight int
-	queue    []*waiter // FIFO, grant channels closed on admission
-	admitted uint64
-	queued   uint64
-	shed     uint64
+	mu        sync.Mutex
+	routes    map[string]*routeStat
+	inflight  int
+	queue     []*waiter // FIFO, grant channels closed on admission
+	pumpArmed bool      // a decay-horizon re-evaluation timer is pending
+	admitted  uint64
+	queued    uint64
+	shed      uint64
 }
 
 // New builds a Limiter.
@@ -168,6 +180,11 @@ func (l *Limiter) Ceiling() float64 { return l.cfg.Ceiling }
 func (l *Limiter) Acquire(ctx context.Context, route string) (release func(), waited bool, err error) {
 	now := l.cfg.Now()
 	l.mu.Lock()
+	// First grant any queued waiters the decayed occupancy now permits —
+	// a queue formed while nothing was in flight (the n_avg memory term
+	// alone at the ceiling) has no completion coming to drain it, so
+	// arrivals must re-run the grant logic themselves.
+	l.pumpLocked(now)
 	// Admit immediately only past an empty queue (FIFO fairness: a new
 	// arrival never overtakes a queued one).
 	if len(l.queue) == 0 && l.occupancyLocked(now) < l.cfg.Ceiling {
@@ -184,6 +201,7 @@ func (l *Limiter) Acquire(ctx context.Context, route string) (release func(), wa
 	w := &waiter{route: route, grant: make(chan struct{})}
 	l.queue = append(l.queue, w)
 	l.queued++
+	l.schedulePumpLocked(now)
 	l.mu.Unlock()
 
 	timer := time.NewTimer(l.cfg.QueueTimeout)
@@ -258,8 +276,8 @@ func (l *Limiter) relinquish() {
 }
 
 // grantLocked admits queued waiters while in-flight slots remain. Grants
-// are driven by the hard in-flight gate, not the n_avg estimate, so every
-// completion frees a slot and the queue always drains.
+// from completions are driven by the hard in-flight gate, not the n_avg
+// estimate, so every completion frees a slot and the queue always drains.
 func (l *Limiter) grantLocked() {
 	now := l.cfg.Now()
 	for len(l.queue) > 0 && float64(l.inflight) < l.cfg.Ceiling {
@@ -270,28 +288,91 @@ func (l *Limiter) grantLocked() {
 	}
 }
 
+// pumpLocked is the arrival-path twin of grantLocked: it grants queued
+// waiters while the full max(in-flight, n_avg) signal sits under the
+// ceiling. Completions hand their slot over unconditionally via
+// grantLocked; the pump instead covers the queue that formed on the memory
+// term alone — nothing in flight, so no completion is coming — which
+// drains here as the decayed estimate falls back under the ceiling.
+func (l *Limiter) pumpLocked(now time.Time) {
+	for len(l.queue) > 0 && l.occupancyLocked(now) < l.cfg.Ceiling {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		l.admitLocked(w.route, now)
+		close(w.grant)
+	}
+}
+
+// schedulePumpLocked arms a one-shot re-evaluation for a queue that cannot
+// rely on either a completion (nothing is in flight) or a future arrival
+// to drain it. The delay is the decay horizon τ·ln(n_avg/Ceiling) — the
+// time Equation 1's memory term needs to fall back to the ceiling —
+// after which the timer pumps and, if still stalled, re-arms.
+func (l *Limiter) schedulePumpLocked(now time.Time) {
+	if len(l.queue) == 0 || l.inflight > 0 || l.pumpArmed {
+		return
+	}
+	d := time.Millisecond
+	if n := l.navgLocked(now); n > l.cfg.Ceiling {
+		d = time.Duration(l.tau * math.Log(n/l.cfg.Ceiling) * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+	}
+	l.pumpArmed = true
+	time.AfterFunc(d, func() {
+		l.mu.Lock()
+		l.pumpArmed = false
+		now := l.cfg.Now()
+		l.pumpLocked(now)
+		l.schedulePumpLocked(now)
+		l.mu.Unlock()
+	})
+}
+
 // abandon removes a still-queued waiter, reporting whether it was removed
 // (false means the grant already fired and the slot belongs to the caller).
+// Removal re-runs the grant logic: the abandoning waiter may have been the
+// queue head, and the occupancy estimate has decayed since it enqueued.
 func (l *Limiter) abandon(w *waiter) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for i, q := range l.queue {
 		if q == w {
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			now := l.cfg.Now()
+			l.pumpLocked(now)
+			l.schedulePumpLocked(now)
 			return true
 		}
 	}
 	return false
 }
 
-// route returns the named route's stat, creating it on first use.
-// Callers hold l.mu.
+// overflowRoute is the shared bucket for route names arriving after the
+// stats map reached Config.MaxRoutes distinct entries.
+const overflowRoute = "!overflow"
+
+// evictBelow is the decayed-count floor under which a route's contribution
+// to n_avg is noise and its entry is dropped (≈20 half-lives after its
+// last admission), so idle or fabricated routes do not accumulate.
+const evictBelow = 1e-6
+
+// route returns the named route's stat, creating it on first use. Once the
+// map holds MaxRoutes entries, new names fold into one overflow bucket so
+// client-chosen paths cannot grow the map without bound. Callers hold l.mu.
 func (l *Limiter) route(name string) *routeStat {
-	st, ok := l.routes[name]
-	if !ok {
-		st = &routeStat{last: l.cfg.Now()}
-		l.routes[name] = st
+	if st, ok := l.routes[name]; ok {
+		return st
 	}
+	if len(l.routes) >= l.cfg.MaxRoutes {
+		name = overflowRoute
+		if st, ok := l.routes[name]; ok {
+			return st
+		}
+	}
+	st := &routeStat{last: l.cfg.Now()}
+	l.routes[name] = st
 	return st
 }
 
@@ -309,8 +390,12 @@ func (l *Limiter) decayLocked(st *routeStat, now time.Time) {
 // λ_r the decayed admitted rate and W_r the latency EWMA.
 func (l *Limiter) navgLocked(now time.Time) float64 {
 	var n float64
-	for _, st := range l.routes {
+	for name, st := range l.routes {
 		l.decayLocked(st, now)
+		if st.count < evictBelow {
+			delete(l.routes, name)
+			continue
+		}
 		n += st.count / l.tau * st.lat
 	}
 	return n

@@ -3,6 +3,7 @@ package limit
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -277,6 +278,136 @@ func TestNAvgDecaysWithHalfLife(t *testing.T) {
 	n1 := l.Snapshot().NAvg
 	if n1 >= n0/3 || n1 <= 0 {
 		t.Fatalf("n_avg decayed %v → %v; want roughly a quarter after two half-lives", n0, n1)
+	}
+}
+
+// seedRoute plants a synthetic rate/latency estimate so tests can put
+// n_avg wherever they need it without replaying a whole trace.
+func seedRoute(l *Limiter, name string, count, lat float64) {
+	l.mu.Lock()
+	st := l.route(name)
+	st.count, st.lat, st.seen = count, lat, true
+	l.mu.Unlock()
+}
+
+// TestIdleQueueDrainsWithoutCompletions is the regression for the stalled-
+// queue bug: an arrival that enqueues while nothing is in flight (the
+// n_avg memory term alone holds the ceiling) has no completion coming to
+// grant it. The decay-horizon timer must re-run the grant logic, so the
+// waiter is admitted once the estimate decays — not shed at QueueTimeout.
+func TestIdleQueueDrainsWithoutCompletions(t *testing.T) {
+	l := New(Config{
+		Ceiling:      1,
+		MaxQueue:     4,
+		QueueTimeout: 10 * time.Second,
+		RateHalfLife: 40 * time.Millisecond,
+	})
+	// n_avg = count/τ × lat ≈ 69 with nothing in flight: the memory term
+	// alone is far above the ceiling, decaying below it after ~250ms.
+	seedRoute(l, "r", 20, 0.2)
+	start := time.Now()
+	rel, waited, err := l.Acquire(context.Background(), "r")
+	if err != nil || !waited {
+		t.Fatalf("Acquire = (waited=%v, %v), want a queued grant", waited, err)
+	}
+	rel()
+	if elapsed := time.Since(start); elapsed >= 10*time.Second {
+		t.Fatalf("granted only at the queue deadline (%s) — timer never pumped", elapsed)
+	}
+	if snap := l.Snapshot(); snap.Shed != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("snapshot = %+v, want the waiter granted, not shed", snap)
+	}
+}
+
+// TestArrivalPumpsStalledQueue: with the re-evaluation timer still far
+// out, a fresh arrival must itself grant a queue that the decayed
+// occupancy now permits — and FIFO order holds: the queued waiter is
+// admitted before the arrival that pumped it.
+func TestArrivalPumpsStalledQueue(t *testing.T) {
+	clock := time.Unix(0, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	set := func(t time.Time) { mu.Lock(); clock = t; mu.Unlock() }
+	l := New(Config{
+		Ceiling:      2,
+		MaxQueue:     4,
+		QueueTimeout: 30 * time.Second,
+		RateHalfLife: 10 * time.Second, // timer horizon ≈ 10s: irrelevant here
+		Now:          now,
+	})
+	// n_avg = 4 × ceiling/2 = 4 with nothing in flight.
+	seedRoute(l, "r", 4*l.tau, 1.0)
+	granted := make(chan error, 1)
+	go func() {
+		rel, waited, err := l.Acquire(context.Background(), "r")
+		if err == nil && !waited {
+			err = errors.New("stalled waiter admitted without queueing")
+		}
+		if rel != nil {
+			rel()
+		}
+		granted <- err
+	}()
+	waitUntil(t, func() bool { return l.Snapshot().QueueDepth == 1 })
+	// Two half-lives later n_avg ≈ 1 < ceiling; only an arrival looks.
+	set(time.Unix(20, 0))
+	rel, waited, err := l.Acquire(context.Background(), "r")
+	if err != nil || waited {
+		t.Fatalf("post-decay arrival = (waited=%v, %v), want immediate admit", waited, err)
+	}
+	if err := <-granted; err != nil {
+		t.Fatalf("stalled waiter: %v", err)
+	}
+	rel()
+	if snap := l.Snapshot(); snap.QueueDepth != 0 || snap.Shed != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestRouteMapCapped: past MaxRoutes distinct names, new routes share one
+// overflow bucket instead of growing the map.
+func TestRouteMapCapped(t *testing.T) {
+	l := New(Config{Ceiling: 100, MaxRoutes: 4})
+	for i := 0; i < 100; i++ {
+		rel, _, err := l.Acquire(context.Background(), fmt.Sprintf("/u/%d", i))
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rel()
+	}
+	l.mu.Lock()
+	n, overflow := len(l.routes), l.routes[overflowRoute]
+	l.mu.Unlock()
+	if n > 5 { // MaxRoutes distinct entries plus the overflow bucket
+		t.Fatalf("routes map grew to %d entries with MaxRoutes=4", n)
+	}
+	if overflow == nil || overflow.count < 90 {
+		t.Fatalf("overflow bucket = %+v, want ≈96 folded admissions", overflow)
+	}
+}
+
+// TestIdleRoutesEvicted: a route whose decayed rate has fallen to noise is
+// dropped from the stats map instead of lingering forever.
+func TestIdleRoutesEvicted(t *testing.T) {
+	clock := time.Unix(0, 0)
+	l := New(Config{Ceiling: 4, RateHalfLife: time.Second, Now: func() time.Time { return clock }})
+	for _, route := range []string{"a", "b"} {
+		rel, _, err := l.Acquire(context.Background(), route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock = clock.Add(10 * time.Millisecond)
+		rel()
+	}
+	clock = clock.Add(60 * time.Second) // 60 half-lives: counts ≈ 1e-18
+	if snap := l.Snapshot(); snap.NAvg != 0 {
+		t.Fatalf("NAvg = %v after total decay, want 0", snap.NAvg)
+	}
+	l.mu.Lock()
+	n := len(l.routes)
+	l.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("routes map holds %d idle entries, want eviction", n)
 	}
 }
 

@@ -148,15 +148,20 @@ func (r *Result) Successes() int {
 	return len(r.latencies)
 }
 
-// String renders the summary line llload prints.
+// String renders the summary line llload prints. It snapshots the counters
+// under the lock, so it is safe to call while a Run is still updating them.
 func (r *Result) String() string {
+	r.mu.Lock()
+	sent, ok, shed, failed := r.Sent, r.OK, r.Shed, r.Failed
+	retries, elapsed := r.Retries, r.Elapsed
+	r.mu.Unlock()
 	rate := 0.0
-	if r.Elapsed > 0 {
-		rate = float64(r.OK) / r.Elapsed.Seconds()
+	if elapsed > 0 {
+		rate = float64(ok) / elapsed.Seconds()
 	}
 	return fmt.Sprintf(
 		"sent %d  ok %d  shed %d  failed %d  retries %d  |  p50 %s  p90 %s  p99 %s  |  %.1f ok/s",
-		r.Sent, r.OK, r.Shed, r.Failed, r.Retries,
+		sent, ok, shed, failed, retries,
 		r.Quantile(0.50).Round(time.Millisecond/10),
 		r.Quantile(0.90).Round(time.Millisecond/10),
 		r.Quantile(0.99).Round(time.Millisecond/10),
@@ -239,7 +244,9 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 		}
 	}
 	wg.Wait()
+	res.mu.Lock()
 	res.Elapsed = time.Since(start)
+	res.mu.Unlock()
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -115,6 +116,42 @@ func TestOpenLoopOffersAtRate(t *testing.T) {
 	}
 	if res.OK != res.Sent {
 		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestStringConcurrentWithRecording: Result.String must snapshot counters
+// under the lock so it is race-free against workers still recording — the
+// guarantee a future progress printer relies on (run with -race).
+func TestStringConcurrentWithRecording(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	o := Options{URL: ts.URL}
+	if err := o.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = res.String()
+				_ = res.Quantile(0.5)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		attempt(context.Background(), &o, res)
+	}
+	close(stop)
+	wg.Wait()
+	if res.Sent != 50 || res.OK != 50 {
+		t.Fatalf("res = %s, want 50 sent and ok", res)
 	}
 }
 
