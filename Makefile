@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/
+RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench bench-stream fuzz lint check loadtest
+.PHONY: all vet build test race bench bench-stream bench-json fuzz lint check loadtest
 
 all: check
 
@@ -34,6 +34,20 @@ bench:
 # fan-out at 1/8/64 subscribers) with real iteration counts.
 bench-stream:
 	$(GO) test -run 'Allocs' -bench 'BenchmarkWindowPush|BenchmarkFanout' ./internal/stream/
+
+# bench-json runs the macro simulation benchmark and renders it as JSON so
+# PRs can commit a perf trajectory (BENCH_baseline.json) and diff against
+# it. Usage: make bench-json > BENCH_current.json
+BENCH_COUNT ?= 3
+bench-json:
+	@$(GO) test -run '^$$' -bench BenchmarkRun -benchmem -benchtime 10x -count $(BENCH_COUNT) ./internal/sim/ \
+	| awk 'BEGIN { print "[" } \
+	  /^BenchmarkRun\// { \
+	    split($$1, parts, "/"); sub(/-[0-9]+$$/, "", parts[2]); \
+	    if (n++) printf ",\n"; \
+	    printf "  {\"bench\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+	      parts[2], $$2, $$3, $$5, $$7 } \
+	  END { print "\n]" }'
 
 # lint runs the static analyzers CI runs; both tools are optional locally
 # (install with go install honnef.co/go/tools/cmd/staticcheck@latest and

@@ -28,7 +28,7 @@ import (
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
-	"littleslaw/internal/sim"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/workloads"
 	"littleslaw/internal/xmem"
 )
@@ -131,7 +131,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "mlptool: running %s/%s (%s) on the %d-core node...\n",
 		w.Name(), w.Routine(), w.Variant().Label(*threads), p.Cores)
-	res, err := sim.RunContext(ctx, w.Config(p, *threads, *scale))
+	res, err := runner.Run(ctx, w.Config(p, *threads, *scale))
 	if err != nil {
 		fail(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"littleslaw/internal/cpu"
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/tracefile"
 	"littleslaw/internal/workloads"
@@ -175,7 +177,7 @@ func analyze(args []string) {
 	}
 
 	fmt.Fprintf(os.Stderr, "tracetool: replaying %s on every core of the %s node...\n", path, p.Name)
-	res, err := sim.Run(sim.Config{
+	res, err := runner.Run(context.Background(), sim.Config{
 		Plat:   p,
 		Cores:  *cores,
 		Window: *window,

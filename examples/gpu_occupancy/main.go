@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"littleslaw/internal/cpu"
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/xmem"
 )
@@ -34,7 +36,7 @@ func main() {
 	fmt.Printf("%8s %12s %10s %10s %s\n", "warps", "BW GB/s", "n_avg", "of MSHRs", "recipe reading")
 
 	for _, warps := range []int{1, 2, 4, 8, 16, 32} {
-		res, err := sim.Run(kernel(gpu, warps))
+		res, err := runner.Run(context.Background(), kernel(gpu, warps))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"littleslaw/internal/engine"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/workloads"
 )
@@ -133,7 +134,7 @@ func TuneContext(ctx context.Context, p *platform.Platform, profile *queueing.Cu
 		if opts.Cores != 0 {
 			cfg.Cores = opts.Cores
 		}
-		return sim.RunContext(ctx, cfg)
+		return runner.Run(ctx, cfg)
 	}
 
 	cur, err := run(ctx, state, threads)

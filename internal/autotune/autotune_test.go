@@ -1,13 +1,14 @@
 package autotune
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"littleslaw/internal/core"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
-	"littleslaw/internal/sim"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/workloads"
 )
 
@@ -155,7 +156,7 @@ func TestGatherCandidatesMatchesPickSequence(t *testing.T) {
 	p := platform.KNL()
 	var opts Options
 	opts.normalize()
-	res, err := sim.Run(w.Config(p, 1, 0.1))
+	res, err := runner.Run(context.Background(), w.Config(p, 1, 0.1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -235,8 +235,13 @@ type Core struct {
 // window is the per-thread demand window; gapScale the per-thread compute
 // gap multiplier (from SMT sharing and scalar pipeline penalties).
 func NewCore(node *memsys.Node, gens []Generator, window int, gapScale float64) *Core {
-	hier := memsys.NewHierarchy(node)
-	c := &Core{Hier: hier}
+	return NewCoreWith(node, memsys.NewHierarchy(node), gens, window, gapScale)
+}
+
+// NewCoreWith is NewCore with a caller-supplied hierarchy (e.g. one drawn
+// from the memsys pool), which must already be attached to node.
+func NewCoreWith(node *memsys.Node, hier *memsys.Hierarchy, gens []Generator, window int, gapScale float64) *Core {
+	c := &Core{Hier: hier, Threads: make([]*Thread, 0, len(gens))}
 	for _, g := range gens {
 		c.Threads = append(c.Threads, NewThread(node.Sched, node.Plat, hier, g, window, gapScale))
 	}

@@ -7,8 +7,6 @@
 // this repository bit-reproducible for a given seed and configuration.
 package events
 
-import "container/heap"
-
 // Time is an absolute simulated timestamp in picoseconds.
 type Time int64
 
@@ -63,23 +61,62 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap over event values. It exists
+// instead of container/heap because that interface boxes every pushed and
+// popped element into an interface{} — one allocation per scheduled event,
+// which on a full-node run is millions of allocations that this layout
+// makes zero (events live by value in the backing array, which is reused
+// across the whole run).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the popped closure for GC
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Scheduler is a discrete-event simulation engine. The zero value is ready
@@ -100,7 +137,7 @@ func (s *Scheduler) At(t Time, fn func()) {
 		panic("events: scheduling an event in the past")
 	}
 	s.seq++
-	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+	s.heap.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -115,7 +152,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.heap).(event)
+	e := s.heap.pop()
 	s.now = e.at
 	e.fn()
 	return true

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"littleslaw/internal/cpu"
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/workloads"
 )
@@ -36,7 +38,7 @@ func (r *Runner) MSHRSweep(capacities []int) ([]MSHRSweepPoint, error) {
 		}
 		cfg := w.Config(p, 1, r.opts.Scale)
 		cfg.Window = c + 2 // keep the window from masking the MSHR file
-		res, err := sim.Run(cfg)
+		res, err := runner.Run(context.Background(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: mshr sweep %d: %w", c, err)
 		}
@@ -80,7 +82,7 @@ func (r *Runner) StreamTableSweep(tableSizes []int) ([]StreamTableSweepPoint, er
 			// Half the node: the mechanism under test is prefetcher
 			// coverage, which DRAM saturation would mask.
 			cfg.Cores = 32
-			return sim.Run(cfg)
+			return runner.Run(context.Background(), cfg)
 		}
 		two, err := run(2)
 		if err != nil {
@@ -140,7 +142,7 @@ func (r *Runner) Coalescing() (*CoalescingAblation, error) {
 			},
 			ConfigureHierarchy: func(h *memsys.Hierarchy) { h.NoCoalesce = noCoalesce },
 		}
-		return sim.Run(cfg)
+		return runner.Run(context.Background(), cfg)
 	}
 	on, err := run(false)
 	if err != nil {
@@ -172,7 +174,7 @@ type FutureHBMResult struct {
 func (r *Runner) FutureHBM() (*FutureHBMResult, error) {
 	w, _ := workloads.ByName("HPCG")
 	p := platform.HBM3E()
-	res, err := sim.Run(w.WithVariant(workloads.Variant{Vectorized: true}).Config(p, 1, r.opts.Scale))
+	res, err := runner.Run(context.Background(), w.WithVariant(workloads.Variant{Vectorized: true}).Config(p, 1, r.opts.Scale))
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +203,7 @@ func (r *Runner) PrefetchLevel() (*PrefetchLevelResult, error) {
 	p, _ := platform.ByName("KNL")
 	run := func(v workloads.Variant) (*sim.Result, error) {
 		v.Vectorized = true
-		return sim.Run(w.WithVariant(v).Config(p, 2, r.opts.Scale))
+		return runner.Run(context.Background(), w.WithVariant(v).Config(p, 2, r.opts.Scale))
 	}
 	base, err := run(workloads.Variant{})
 	if err != nil {
@@ -242,12 +244,12 @@ func (r *Runner) CacheMode() ([]CacheModeResult, error) {
 	// Case 1: ISx — cache-unfriendly random footprint.
 	w, _ := workloads.ByName("ISx")
 	flatP, _ := platform.ByName("KNL")
-	flat, err := sim.Run(w.Config(flatP, 1, r.opts.Scale))
+	flat, err := runner.Run(context.Background(), w.Config(flatP, 1, r.opts.Scale))
 	if err != nil {
 		return nil, err
 	}
 	cacheP := platform.KNLCacheMode()
-	cached, err := sim.Run(w.Config(cacheP, 1, r.opts.Scale))
+	cached, err := runner.Run(context.Background(), w.Config(cacheP, 1, r.opts.Scale))
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +272,7 @@ func (r *Runner) CacheMode() ([]CacheModeResult, error) {
 		if ops < 6*arenaLines {
 			ops = 6 * arenaLines
 		}
-		return sim.Run(sim.Config{
+		return runner.Run(context.Background(), sim.Config{
 			Plat:   p,
 			Cores:  16, // a node slice: the mode comparison, not full contention
 			Window: 8,

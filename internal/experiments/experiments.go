@@ -19,6 +19,7 @@ import (
 	"littleslaw/internal/engine"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/workloads"
 	"littleslaw/internal/xmem"
@@ -277,7 +278,7 @@ func (r *Runner) run(ctx context.Context, w workloads.Workload, p *platform.Plat
 	key := runKey{workload: w.Name(), plat: p.Name, variant: v, threads: threads}
 	return r.cache.Do(ctx, key, func() (*sim.Result, error) {
 		cfg := w.WithVariant(v).Config(p, threads, r.opts.Scale)
-		res, err := sim.RunContext(ctx, cfg)
+		res, err := runner.Run(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%s %s: %w", w.Name(), p.Name, v.Label(threads), err)
 		}

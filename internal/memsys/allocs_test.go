@@ -1,0 +1,84 @@
+package memsys
+
+import (
+	"testing"
+
+	"littleslaw/internal/events"
+	"littleslaw/internal/platform"
+)
+
+// TestMSHRHotPathAllocs pins the pooled MSHR steady state: once the entry
+// free list and waiter-array spare pool are warm, an allocate → coalesce →
+// complete → recycle cycle — the per-miss hot path of every simulation —
+// must not allocate at all.
+func TestMSHRHotPathAllocs(t *testing.T) {
+	sched := &events.Scheduler{}
+	m := NewMSHR(sched, 16)
+	cycle := func() {
+		for i := 0; i < 16; i++ {
+			m.Allocate(Line(i))
+			m.Coalesce(Line(i), func() {})
+			m.Coalesce(Line(i), func() {})
+		}
+		for i := 0; i < 16; i++ {
+			m.Recycle(m.Complete(Line(i)))
+		}
+	}
+	cycle() // warm the waiter-array spare pool
+	if allocs := testing.AllocsPerRun(100, cycle); allocs > 0 {
+		t.Fatalf("warmed MSHR allocate/complete cycle allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestSchedulerHotPathAllocs pins the de-boxed event heap: pushing and
+// popping events within existing heap capacity must not allocate (the
+// container/heap interface it replaced boxed every element).
+func TestSchedulerHotPathAllocs(t *testing.T) {
+	sched := &events.Scheduler{}
+	fn := func() {}
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			sched.After(events.Duration(i), fn)
+		}
+		for sched.Step() {
+		}
+	}
+	cycle() // grow the heap's backing array once
+	if allocs := testing.AllocsPerRun(100, cycle); allocs > 0 {
+		t.Fatalf("warmed scheduler push/pop cycle allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestHierarchyResetReuse pins the pooled-hierarchy contract: acquiring a
+// released hierarchy of the same geometry reuses the object, and Reset
+// restores freshly-constructed behaviour (no residual cache or prefetcher
+// state changing hit patterns).
+func TestHierarchyResetReuse(t *testing.T) {
+	p := platform.SKL()
+
+	run := func(h *Hierarchy, node *Node) (hits, misses uint64) {
+		for i := 0; i < 256; i++ {
+			h.Access(uint64(i)*8, Load, nil)
+			node.Sched.Run()
+		}
+		return h.L1.Stats.Hits, h.L1.Stats.Misses
+	}
+
+	sched1 := &events.Scheduler{}
+	node1 := NewNode(sched1, p)
+	h1 := AcquireHierarchy(node1)
+	hits1, misses1 := run(h1, node1)
+	ReleaseHierarchy(h1)
+
+	sched2 := &events.Scheduler{}
+	node2 := NewNode(sched2, p)
+	h2 := AcquireHierarchy(node2)
+	if h2 != h1 {
+		t.Log("pool returned a different hierarchy (GC ran); behaviour check still applies")
+	}
+	hits2, misses2 := run(h2, node2)
+	if hits1 != hits2 || misses1 != misses2 {
+		t.Fatalf("pooled hierarchy behaved differently: fresh %d/%d hits/misses, reused %d/%d",
+			hits1, misses1, hits2, misses2)
+	}
+}

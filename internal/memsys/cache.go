@@ -51,6 +51,15 @@ func NewCache(setCount, ways int) *Cache {
 // ResetStats clears counters without touching cache contents.
 func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
 
+// Reset empties the cache and clears counters, keeping the per-set way
+// arrays allocated so a pooled hierarchy can reuse them.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.Stats = CacheStats{}
+}
+
 func (c *Cache) set(line Line) *[]way { return &c.sets[uint64(line)&c.setMask] }
 func (c *Cache) tag(line Line) uint64 { return uint64(line) >> 0 } // full line address as tag
 

@@ -195,9 +195,14 @@ type Hierarchy struct {
 	l1HitPs events.Duration
 	l2HitPs events.Duration
 
-	pendingL1 []pendingReq
-	pendingL2 []pendingReq
-	maxSWPend int
+	// Pending requests stalled on a full MSHR file, consumed from a head
+	// index so draining does not reslice (and therefore never reallocates)
+	// the backing array; the array compacts whenever it fully drains.
+	pendingL1  []pendingReq
+	pendingL2  []pendingReq
+	pendL1Head int
+	pendL2Head int
+	maxSWPend  int
 
 	// NoCoalesce disables MSHR request merging for ablation studies: a
 	// request to an already-outstanding line still waits on the existing
@@ -237,6 +242,42 @@ func (h *Hierarchy) ResetStats() {
 	h.L2M.ResetStats()
 	h.PF.ResetStats()
 }
+
+// Reset rebinds the hierarchy to node and restores it to the state
+// NewHierarchy would produce, keeping every allocated array (cache ways,
+// MSHR entries, prefetcher table, pending queues) so a pooled hierarchy
+// serves a new run without reconstruction. node must have the same cache
+// geometry and prefetcher configuration as the hierarchy was built with;
+// timing parameters are recomputed from node's platform.
+func (h *Hierarchy) Reset(node *Node) {
+	p := node.Plat
+	clk := p.Clock()
+	h.node = node
+	h.L1.Reset()
+	h.L2.Reset()
+	h.L1M.Reset(node.Sched)
+	h.L2M.Reset(node.Sched)
+	h.PF.Reset()
+	h.l1HitPs = clk.Cycles(p.L1.HitCycles)
+	h.l2HitPs = clk.Cycles(p.L2.HitCycles)
+	full1 := h.pendingL1[:cap(h.pendingL1)]
+	for i := range full1 {
+		full1[i] = pendingReq{}
+	}
+	full2 := h.pendingL2[:cap(h.pendingL2)]
+	for i := range full2 {
+		full2[i] = pendingReq{}
+	}
+	h.pendingL1 = h.pendingL1[:0]
+	h.pendingL2 = h.pendingL2[:0]
+	h.pendL1Head, h.pendL2Head = 0, 0
+	h.maxSWPend = p.L2.MSHRs
+	h.NoCoalesce = false
+	h.Stats = HierarchyStats{}
+}
+
+// pendL2Len returns the number of queued L2 requests not yet drained.
+func (h *Hierarchy) pendL2Len() int { return len(h.pendingL2) - h.pendL2Head }
 
 // Access presents one byte-addressed memory operation to the hierarchy.
 // For demand loads and stores, done fires when the data is available in L1
@@ -331,7 +372,7 @@ func (h *Hierarchy) l2Miss(req pendingReq) {
 			// file, as on real hardware; flow-controlled issuers (those
 			// waiting for the resolve callback) queue within a bounded
 			// buffer instead.
-			if req.done != nil && len(h.pendingL2) < h.maxSWPend {
+			if req.done != nil && h.pendL2Len() < h.maxSWPend {
 				h.pendingL2 = append(h.pendingL2, req)
 			} else {
 				h.Stats.SWPrefetchDropped++
@@ -367,9 +408,11 @@ func (h *Hierarchy) fillL2(line Line) {
 	if victim, dirty := h.L2.Fill(line, false); dirty {
 		h.node.writeback(victim)
 	}
-	for _, w := range h.L2M.Complete(line) {
+	ws := h.L2M.Complete(line)
+	for _, w := range ws {
 		w()
 	}
+	h.L2M.Recycle(ws)
 	h.drainL2Pending()
 }
 
@@ -378,17 +421,20 @@ func (h *Hierarchy) fillL1(line Line, dirty bool) {
 		// Dirty L1 victims land in L2 (usually already resident).
 		h.L2.Fill(victim, true)
 	}
-	for _, w := range h.L1M.Complete(line) {
+	ws := h.L1M.Complete(line)
+	for _, w := range ws {
 		w()
 	}
+	h.L1M.Recycle(ws)
 	h.drainL1Pending()
 }
 
 func (h *Hierarchy) drainL1Pending() {
 	now := h.node.Sched.Now()
-	for len(h.pendingL1) > 0 && !h.L1M.Full() {
-		req := h.pendingL1[0]
-		h.pendingL1 = h.pendingL1[1:]
+	for h.pendL1Head < len(h.pendingL1) && !h.L1M.Full() {
+		req := h.pendingL1[h.pendL1Head]
+		h.pendingL1[h.pendL1Head] = pendingReq{} // release the done closure
+		h.pendL1Head++
 		h.Stats.L1FullStallPs += uint64(now - req.since)
 		// The line may have been filled while this request waited.
 		if h.L1.Access(req.line, req.kind == Store) {
@@ -399,13 +445,18 @@ func (h *Hierarchy) drainL1Pending() {
 		}
 		h.l1Miss(pendingReq{line: req.line, kind: req.kind, done: req.done, since: now})
 	}
+	if h.pendL1Head == len(h.pendingL1) {
+		h.pendingL1 = h.pendingL1[:0]
+		h.pendL1Head = 0
+	}
 }
 
 func (h *Hierarchy) drainL2Pending() {
 	now := h.node.Sched.Now()
-	for len(h.pendingL2) > 0 && !h.L2M.Full() {
-		req := h.pendingL2[0]
-		h.pendingL2 = h.pendingL2[1:]
+	for h.pendL2Head < len(h.pendingL2) && !h.L2M.Full() {
+		req := h.pendingL2[h.pendL2Head]
+		h.pendingL2[h.pendL2Head] = pendingReq{}
+		h.pendL2Head++
 		if req.kind.isDemand() || req.kind == PrefetchL1 {
 			h.Stats.L2FullStallPs += uint64(now - req.since)
 		}
@@ -416,5 +467,9 @@ func (h *Hierarchy) drainL2Pending() {
 			continue
 		}
 		h.l2Miss(pendingReq{line: req.line, kind: req.kind, done: req.done, since: now})
+	}
+	if h.pendL2Head == len(h.pendingL2) {
+		h.pendingL2 = h.pendingL2[:0]
+		h.pendL2Head = 0
 	}
 }

@@ -17,10 +17,18 @@ type MSHRStats struct {
 // that is already outstanding coalesce onto the existing entry instead of
 // generating duplicate memory traffic. The time-weighted occupancy of this
 // structure is the paper's ground-truth MLP.
+//
+// Entries live by value in a fixed array sized to the register count and
+// are recycled through a free list, so the steady-state allocate/complete
+// cycle of a run allocates nothing; waiter slices returned by Complete are
+// handed back through Recycle and reused the same way.
 type MSHR struct {
 	capacity int
 	sched    *events.Scheduler
-	entries  map[Line]*mshrEntry
+	index    map[Line]int32 // line → slot in entries
+	entries  []mshrEntry    // fixed backing array, one slot per register
+	free     []int32        // recycled slots
+	spare    [][]func()     // recycled waiter arrays (from Recycle)
 
 	// Occ is the exact time-weighted occupancy of the register file.
 	Occ   queueing.OccupancyStat
@@ -37,7 +45,16 @@ func NewMSHR(sched *events.Scheduler, capacity int) *MSHR {
 	if capacity <= 0 {
 		panic("memsys: MSHR capacity must be positive")
 	}
-	m := &MSHR{capacity: capacity, sched: sched, entries: make(map[Line]*mshrEntry, capacity)}
+	m := &MSHR{
+		capacity: capacity,
+		sched:    sched,
+		index:    make(map[Line]int32, capacity),
+		entries:  make([]mshrEntry, capacity),
+		free:     make([]int32, capacity),
+	}
+	for i := range m.free {
+		m.free[i] = int32(capacity - 1 - i)
+	}
 	m.Occ.Reset(sched.Now())
 	return m
 }
@@ -46,14 +63,14 @@ func NewMSHR(sched *events.Scheduler, capacity int) *MSHR {
 func (m *MSHR) Capacity() int { return m.capacity }
 
 // InFlight returns the current number of outstanding line misses.
-func (m *MSHR) InFlight() int { return len(m.entries) }
+func (m *MSHR) InFlight() int { return len(m.index) }
 
 // Full reports whether no register is free.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+func (m *MSHR) Full() bool { return len(m.index) >= m.capacity }
 
 // Outstanding reports whether line already has an entry.
 func (m *MSHR) Outstanding(line Line) bool {
-	_, ok := m.entries[line]
+	_, ok := m.index[line]
 	return ok
 }
 
@@ -64,10 +81,18 @@ func (m *MSHR) Allocate(line Line) {
 	if m.Full() {
 		panic("memsys: MSHR allocate on full queue")
 	}
-	if _, ok := m.entries[line]; ok {
+	if _, ok := m.index[line]; ok {
 		panic("memsys: duplicate MSHR allocation")
 	}
-	m.entries[line] = &mshrEntry{allocated: m.sched.Now()}
+	slot := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	e := &m.entries[slot]
+	e.allocated = m.sched.Now()
+	if e.waiters == nil && len(m.spare) > 0 {
+		e.waiters = m.spare[len(m.spare)-1]
+		m.spare = m.spare[:len(m.spare)-1]
+	}
+	m.index[line] = slot
 	m.Occ.Arrive(m.sched.Now())
 	m.Stats.Allocations++
 }
@@ -75,12 +100,12 @@ func (m *MSHR) Allocate(line Line) {
 // Coalesce attaches fn to the outstanding entry for line. fn runs when the
 // line fills. It panics if the line is not outstanding.
 func (m *MSHR) Coalesce(line Line, fn func()) {
-	e, ok := m.entries[line]
+	slot, ok := m.index[line]
 	if !ok {
 		panic("memsys: coalesce on line with no MSHR entry")
 	}
 	if fn != nil {
-		e.waiters = append(e.waiters, fn)
+		m.entries[slot].waiters = append(m.entries[slot].waiters, fn)
 	}
 	m.Stats.Coalesced++
 }
@@ -90,16 +115,37 @@ func (m *MSHR) Coalesce(line Line, fn func()) {
 func (m *MSHR) NoteFull() { m.Stats.FullEvents++ }
 
 // Complete releases the entry for line and returns its waiters, which the
-// caller invokes after any fill latency. It panics if line has no entry.
+// caller invokes after any fill latency and then hands back via Recycle.
+// Ownership of the returned slice transfers to the caller: the freed slot
+// may be re-allocated while the waiters run (a waiter can itself miss),
+// so the entry detaches the slice rather than reusing it in place.
+// It panics if line has no entry.
 func (m *MSHR) Complete(line Line) []func() {
-	e, ok := m.entries[line]
+	slot, ok := m.index[line]
 	if !ok {
 		panic("memsys: complete on line with no MSHR entry")
 	}
-	delete(m.entries, line)
+	delete(m.index, line)
+	e := &m.entries[slot]
+	w := e.waiters
+	e.waiters = nil
+	m.free = append(m.free, slot)
 	now := m.sched.Now()
 	m.Occ.Depart(now, now-e.allocated)
-	return e.waiters
+	return w
+}
+
+// Recycle returns a waiter slice obtained from Complete to the internal
+// pool once its callbacks have run. The funcs are cleared so completed
+// closures do not outlive their run.
+func (m *MSHR) Recycle(ws []func()) {
+	if cap(ws) == 0 {
+		return
+	}
+	for i := range ws {
+		ws[i] = nil
+	}
+	m.spare = append(m.spare, ws[:0])
 }
 
 // ResetStats clears counters and restarts occupancy tracking, preserving
@@ -108,5 +154,26 @@ func (m *MSHR) ResetStats() {
 	m.Stats = MSHRStats{}
 	now := m.sched.Now()
 	m.Occ.Reset(now)
-	m.Occ.Set(now, len(m.entries))
+	m.Occ.Set(now, len(m.index))
+}
+
+// Reset rebinds the MSHR file to a (new) scheduler and restores it to its
+// freshly-constructed state, keeping the allocated entry array, waiter
+// arrays and map buckets so a pooled hierarchy reuses them across runs.
+func (m *MSHR) Reset(sched *events.Scheduler) {
+	m.sched = sched
+	for line, slot := range m.index {
+		e := &m.entries[slot]
+		if e.waiters != nil {
+			m.Recycle(e.waiters)
+			e.waiters = nil
+		}
+		m.free = append(m.free, slot)
+		delete(m.index, line)
+	}
+	m.Stats = MSHRStats{}
+	// Unlike ResetStats, discard the current occupancy too: a pooled run may
+	// have been abandoned with entries still in flight.
+	m.Occ = queueing.OccupancyStat{}
+	m.Occ.Reset(sched.Now())
 }

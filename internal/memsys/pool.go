@@ -1,0 +1,60 @@
+package memsys
+
+import (
+	"sync"
+
+	"littleslaw/internal/platform"
+)
+
+// hierGeom is the part of a platform that fixes a Hierarchy's allocated
+// shape: cache geometry, MSHR capacities and the prefetcher table bound.
+// Two platforms with the same geometry can exchange pooled hierarchies
+// even if their timing (frequencies, hit latencies) differs, because
+// Hierarchy.Reset recomputes timing from the new node.
+type hierGeom struct {
+	l1Sets, l1Ways, l1MSHRs int
+	l2Sets, l2Ways, l2MSHRs int
+	lineBytes               int
+	pf                      platform.PrefetcherConfig
+}
+
+func geomOf(p *platform.Platform) hierGeom {
+	return hierGeom{
+		l1Sets: p.L1.Sets(p.LineBytes), l1Ways: p.L1.Ways, l1MSHRs: p.L1.MSHRs,
+		l2Sets: p.L2.Sets(p.LineBytes), l2Ways: p.L2.Ways, l2MSHRs: p.L2.MSHRs,
+		lineBytes: p.LineBytes,
+		pf:        p.Prefetcher,
+	}
+}
+
+// hierPools maps hierGeom → *sync.Pool of *Hierarchy.
+var hierPools sync.Map
+
+// AcquireHierarchy returns a hierarchy attached to node, reusing a pooled
+// one of matching geometry when available (its arrays stay warm; its state
+// is fully reset, so results are bit-identical to a fresh hierarchy).
+// Release with ReleaseHierarchy when the run ends — or don't, if the
+// hierarchy's internal state may have been perturbed beyond Reset's reach.
+func AcquireHierarchy(node *Node) *Hierarchy {
+	pool := poolFor(geomOf(node.Plat))
+	if v := pool.Get(); v != nil {
+		h := v.(*Hierarchy)
+		h.Reset(node)
+		return h
+	}
+	return NewHierarchy(node)
+}
+
+// ReleaseHierarchy returns h to the pool for its geometry. The caller must
+// not use h afterwards.
+func ReleaseHierarchy(h *Hierarchy) {
+	poolFor(geomOf(h.node.Plat)).Put(h)
+}
+
+func poolFor(g hierGeom) *sync.Pool {
+	if v, ok := hierPools.Load(g); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := hierPools.LoadOrStore(g, &sync.Pool{})
+	return v.(*sync.Pool)
+}

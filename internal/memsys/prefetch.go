@@ -51,6 +51,14 @@ func NewStreamPrefetcher(cfg platform.PrefetcherConfig, lineBytes int, issue fun
 // ResetStats clears counters, preserving trained streams.
 func (p *StreamPrefetcher) ResetStats() { p.Stats = PrefetchStats{} }
 
+// Reset forgets all trained streams and clears counters, keeping the
+// stream table allocated for reuse by a pooled hierarchy.
+func (p *StreamPrefetcher) Reset() {
+	p.table = p.table[:0]
+	p.tick = 0
+	p.Stats = PrefetchStats{}
+}
+
 // ActiveStreams returns the number of tracked streams (for tests).
 func (p *StreamPrefetcher) ActiveStreams() int { return len(p.table) }
 

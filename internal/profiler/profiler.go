@@ -7,6 +7,7 @@
 package profiler
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,6 +15,7 @@ import (
 	"littleslaw/internal/counters"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 )
 
@@ -50,6 +52,13 @@ type AppProfile struct {
 // Profile runs every phase and builds the per-routine and whole-program
 // reports.
 func Profile(p *platform.Platform, profile *queueing.Curve, phases []Phase) (*AppProfile, error) {
+	return ProfileContext(context.Background(), p, profile, phases)
+}
+
+// ProfileContext is Profile with cancellation; each phase runs through the
+// shared runner spine, so repeated profiles of the same phases are cache
+// hits.
+func ProfileContext(ctx context.Context, p *platform.Platform, profile *queueing.Curve, phases []Phase) (*AppProfile, error) {
 	if len(phases) == 0 {
 		return nil, fmt.Errorf("profiler: no phases")
 	}
@@ -66,7 +75,7 @@ func Profile(p *platform.Platform, profile *queueing.Curve, phases []Phase) (*Ap
 	anyRandom := false
 	cores, threads := 0, 0
 	for _, ph := range phases {
-		res, err := sim.Run(ph.Config)
+		res, err := runner.Run(ctx, ph.Config)
 		if err != nil {
 			return nil, fmt.Errorf("profiler: phase %q: %w", ph.Name, err)
 		}

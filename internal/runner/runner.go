@@ -1,0 +1,231 @@
+// Package runner is the single execution spine for node simulations: every
+// caller in the repository — the littleslaw facade, the experiments and
+// ablation pipelines, the autotuner, the profiler, the analysis service,
+// the stream replayer and the command-line tools — starts its simulations
+// here rather than calling the simulator directly.
+//
+// The runner deduplicates identical work (singleflight: concurrent
+// requests for the same canonical configuration share one execution),
+// caches completed results in an LRU keyed on the canonicalized
+// sim.Config, and instruments itself: cache hit/miss/bypass counters, an
+// in-flight gauge, and — in the spirit of the paper it serves — a
+// Little's-Law occupancy gauge. With λ = runs/uptime and W =
+// busy_seconds/runs, L = λ·W collapses to busy_seconds/uptime: the
+// long-run average number of simulations in flight, derived purely from
+// throughput and residence time, compared against the directly-sampled
+// in-flight gauge exactly as the paper compares Equation 2 against true
+// MSHR occupancy.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"littleslaw/internal/engine"
+	"littleslaw/internal/metrics"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/sim"
+)
+
+// Key is the canonical identity of a cacheable simulation: the normalized
+// scalar configuration, the full platform parameterization (ablations
+// mutate platform copies, so the name alone is not an identity), and the
+// caller-declared generator fingerprint.
+type Key struct {
+	Plat        string // platform fingerprint, not just its name
+	Fingerprint string // generator identity from sim.Config.Fingerprint
+	Cores       int
+	Threads     int
+	Window      int
+	GapScale    float64
+	WarmupFrac  float64
+	SMTShare    float64
+	SMTExponent float64
+}
+
+// KeyOf canonicalizes cfg into its cache key. cacheable is false — and the
+// Key meaningless — when the config opted out of caching: an empty
+// Fingerprint (the generator's identity is unknown) or a ConfigureHierarchy
+// hook (the run's behaviour is not a function of the key). An invalid
+// config returns the validation error.
+func KeyOf(cfg sim.Config) (key Key, cacheable bool, err error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return Key{}, false, err
+	}
+	return keyOfNormalized(norm)
+}
+
+func keyOfNormalized(norm sim.Config) (Key, bool, error) {
+	if norm.Fingerprint == "" || norm.ConfigureHierarchy != nil {
+		return Key{}, false, nil
+	}
+	return Key{
+		Plat:        PlatformFingerprint(norm.Plat),
+		Fingerprint: norm.Fingerprint,
+		Cores:       norm.Cores,
+		Threads:     norm.ThreadsPerCore,
+		Window:      norm.Window,
+		GapScale:    norm.GapScale,
+		WarmupFrac:  norm.WarmupFrac,
+		SMTShare:    norm.SMTShare,
+		SMTExponent: norm.SMTExponent,
+	}, true, nil
+}
+
+// PlatformFingerprint renders every simulation-relevant field of p,
+// dereferencing the optional L3 and memory-side-cache blocks so two
+// distinct platform values with equal contents fingerprint equally.
+func PlatformFingerprint(p *platform.Platform) string {
+	flat := *p
+	flat.L3, flat.MemCache = nil, nil
+	s := fmt.Sprintf("%+v", flat)
+	if p.L3 != nil {
+		s += fmt.Sprintf("|L3=%+v", *p.L3)
+	}
+	if p.MemCache != nil {
+		s += fmt.Sprintf("|MC=%+v", *p.MemCache)
+	}
+	return s
+}
+
+// Stats is a snapshot of a Runner's self-instrumentation.
+type Stats struct {
+	Hits     uint64 // served from cache or by joining an in-flight run
+	Misses   uint64 // executed (and cached) on behalf of the caller
+	Bypasses uint64 // uncacheable configs executed directly
+	InFlight int64  // simulations executing right now
+	// Occupancy is the Little's-Law average number of simulations in
+	// flight since the Runner was built: busy_seconds / uptime.
+	Occupancy float64
+}
+
+// Runner executes node simulations through a singleflight LRU cache.
+// Cached *sim.Result values are shared between callers and must be treated
+// as immutable.
+type Runner struct {
+	cache *engine.LRU[Key, *sim.Result]
+
+	hits     metrics.Counter
+	misses   metrics.Counter
+	bypasses metrics.Counter
+	inflight metrics.Gauge
+	busyNs   atomic.Int64
+	start    time.Time
+}
+
+// New builds a Runner retaining at most capacity completed results
+// (capacity <= 0 means unbounded).
+func New(capacity int) *Runner {
+	return &Runner{cache: engine.NewLRU[Key, *sim.Result](capacity), start: time.Now()}
+}
+
+// defaultCapacity bounds the process-wide cache. A full six-table
+// regeneration across three platforms needs ~90 distinct runs; 512 leaves
+// room for sweeps and service traffic on top without unbounded growth.
+const defaultCapacity = 512
+
+var std = New(defaultCapacity)
+
+// Default returns the process-wide Runner every layer shares; using it is
+// what makes cross-caller deduplication (a service request joining a
+// pipeline's in-flight run) happen.
+func Default() *Runner { return std }
+
+// Run executes cfg through the default Runner.
+func Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	return std.Run(ctx, cfg)
+}
+
+// Run executes cfg, deduplicating against concurrent and past runs of the
+// same canonical configuration. Uncacheable configs (empty Fingerprint or
+// a ConfigureHierarchy hook) execute directly. The returned result may be
+// shared with other callers; treat it as immutable.
+func (r *Runner) Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	key, cacheable, err := keyOfNormalized(norm)
+	if err != nil {
+		return nil, err
+	}
+	if !cacheable {
+		r.bypasses.Inc()
+		return r.execute(ctx, norm)
+	}
+	res, hit, err := r.cache.Do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
+		return r.execute(ctx, norm)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		r.hits.Inc()
+	} else {
+		r.misses.Inc()
+	}
+	return res, nil
+}
+
+func (r *Runner) execute(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	r.inflight.Inc()
+	begin := time.Now()
+	defer func() {
+		r.busyNs.Add(time.Since(begin).Nanoseconds())
+		r.inflight.Dec()
+	}()
+	return sim.RunContext(ctx, cfg)
+}
+
+// Forget drops the cached result for cfg's canonical key, if any, so the
+// next Run re-executes. Uncacheable configs are a no-op.
+func (r *Runner) Forget(cfg sim.Config) {
+	if key, cacheable, err := KeyOf(cfg); err == nil && cacheable {
+		r.cache.Forget(key)
+	}
+}
+
+// Len returns the number of cached (or in-flight) entries.
+func (r *Runner) Len() int { return r.cache.Len() }
+
+// Stats snapshots the Runner's counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Hits:      r.hits.Value(),
+		Misses:    r.misses.Value(),
+		Bypasses:  r.bypasses.Value(),
+		InFlight:  r.inflight.Value(),
+		Occupancy: r.occupancy(),
+	}
+}
+
+func (r *Runner) occupancy() float64 {
+	up := time.Since(r.start).Seconds()
+	if up <= 0 {
+		return 0
+	}
+	return float64(r.busyNs.Load()) / 1e9 / up
+}
+
+// Register exposes the Runner's instrumentation on reg under the given
+// metric-name prefix (e.g. "littleslaw_runner").
+func (r *Runner) Register(reg *metrics.Registry, prefix string) {
+	reg.DerivedCounter(prefix+"_cache_hits_total",
+		"Simulations served from the runner cache or a shared in-flight run.",
+		r.hits.Value)
+	reg.DerivedCounter(prefix+"_cache_misses_total",
+		"Simulations executed and cached by the runner.",
+		r.misses.Value)
+	reg.DerivedCounter(prefix+"_cache_bypass_total",
+		"Uncacheable simulations executed directly (no fingerprint or hierarchy hook).",
+		r.bypasses.Value)
+	reg.Derived(prefix+"_inflight",
+		"Simulations executing right now (directly sampled).",
+		func() float64 { return float64(r.inflight.Value()) })
+	reg.Derived(prefix+"_littles_occupancy",
+		"Little's-Law average simulations in flight: busy seconds / uptime (L = lambda*W).",
+		r.occupancy)
+}

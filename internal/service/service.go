@@ -32,6 +32,7 @@ import (
 	"littleslaw/internal/metrics"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/stream"
 	"littleslaw/internal/workloads"
@@ -219,6 +220,10 @@ func New(cfg Config) *Server {
 			"Arrivals admitted by the limiter (immediately or after queueing).",
 			func() uint64 { return s.limiter.Snapshot().Admitted })
 	}
+	// The shared simulation spine's own instrumentation: every analyze /
+	// table / tune request bottoms out in runner.Default(), so its cache
+	// and occupancy telemetry belong on the service's scrape page.
+	runner.Default().Register(s.reg, "llserved_runner")
 	if s.sessions != nil {
 		s.reg.Derived("llserved_stream_clients",
 			"Live /v1/watch connections counted against the subscriber cap.",
@@ -617,7 +622,7 @@ func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*plat
 	if scale == 0 {
 		scale = 0.1
 	}
-	res, err := sim.RunContext(ctx, w.Config(p, threads, scale))
+	res, err := runner.Run(ctx, w.Config(p, threads, scale))
 	if err != nil {
 		return nil, core.Measurement{}, nil, nil, err
 	}

@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"littleslaw/internal/cpu"
+	"littleslaw/internal/memsys"
+	"littleslaw/internal/platform"
+	"littleslaw/internal/sim"
+)
+
+// benchConfig builds a node-simulation config exercising the full
+// sim/memsys hot path: streaming loads (prefetcher training, L2 traffic),
+// random loads (MSHR pressure, DRAM bank conflicts) and async stores
+// (writeback traffic), on a 4-core slice so an iteration stays cheap
+// enough to repeat.
+func benchConfig(p *platform.Platform, opsPerThread int) sim.Config {
+	return sim.Config{
+		Plat:  p,
+		Cores: 4,
+		NewGen: func(coreID, threadID int) cpu.Generator {
+			rng := rand.New(rand.NewSource(int64(coreID*64+threadID) + 1))
+			streamBase := uint64(coreID*8+threadID+1) << 34
+			tableBase := streamBase + 1<<32
+			i := 0
+			return cpu.GeneratorFunc(func() (cpu.Op, bool) {
+				if i >= opsPerThread {
+					return cpu.Op{}, false
+				}
+				i++
+				switch i % 4 {
+				case 0: // random gather — the MSHR-bound path
+					addr := tableBase + (rng.Uint64()%(1<<28))&^uint64(p.LineBytes-1)
+					return cpu.Op{Addr: addr, Kind: memsys.Load, GapCycles: 4, Work: 1}, true
+				case 1: // streaming writeback
+					addr := streamBase + uint64(i)*8
+					return cpu.Op{Addr: addr, Kind: memsys.Store, GapCycles: 2, Async: true}, true
+				default: // streaming read — the prefetch-covered path
+					addr := streamBase + uint64(i)*8
+					return cpu.Op{Addr: addr, Kind: memsys.Load, GapCycles: 2, Work: 1}, true
+				}
+			})
+		},
+	}
+}
+
+// BenchmarkRun measures one full node simulation end to end — the unit of
+// work every pipeline, service request and command bottoms out in. Run with
+// -benchmem: allocs/op here is the whole-kernel allocation budget that the
+// pooled events/MSHR/hierarchy path must keep lean.
+func BenchmarkRun(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		plat *platform.Platform
+		ops  int
+	}{
+		{"SKL_mix", platform.SKL(), 6000},
+		{"KNL_mix", platform.KNL(), 4000},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunContext(context.Background(), benchConfig(bc.plat, bc.ops))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Throughput <= 0 {
+					b.Fatal("no work measured")
+				}
+			}
+		})
+	}
+}

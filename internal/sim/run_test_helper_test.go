@@ -1,0 +1,10 @@
+package sim
+
+import "context"
+
+// Run is a test-only shorthand for RunContext with a background context;
+// the production context-free variant was removed so cancellation is
+// structural for all real callers.
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}

@@ -43,9 +43,18 @@ type Config struct {
 	SMTExponent float64
 	// NewGen builds the generator for a hardware thread.
 	NewGen func(core, thread int) cpu.Generator
+	// Fingerprint identifies the operation stream NewGen produces (e.g.
+	// "workloads/ISx|scalar|scale=1"). Two Configs with equal normalized
+	// scalar fields, equal platforms and equal Fingerprints must simulate
+	// identically; the runner layer caches on that identity. Leave empty
+	// for ad-hoc generators (trace replays, bespoke streams) — an empty
+	// Fingerprint makes the run uncacheable.
+	Fingerprint string
 	// ConfigureHierarchy, if set, runs on every core's memory hierarchy
 	// after construction (ablation hooks such as disabling MSHR
-	// coalescing).
+	// coalescing). Setting it also makes the run uncacheable and opts the
+	// hierarchies out of pooling, since the hook may perturb state beyond
+	// what Reset restores.
 	ConfigureHierarchy func(*memsys.Hierarchy)
 }
 
@@ -74,16 +83,40 @@ func (c *Config) normalize() error {
 	if c.Window == 0 {
 		c.Window = c.Plat.DemandWindow
 	}
+	if c.GapScale < 0 {
+		return fmt.Errorf("sim: negative gap scale %v", c.GapScale)
+	}
 	if c.GapScale == 0 {
 		c.GapScale = 1
+	}
+	if c.WarmupFrac < 0 {
+		return fmt.Errorf("sim: negative warmup fraction %v", c.WarmupFrac)
 	}
 	if c.WarmupFrac == 0 {
 		c.WarmupFrac = 0.15
 	}
-	if c.WarmupFrac < 0 || c.WarmupFrac >= 0.9 {
+	if c.WarmupFrac >= 0.9 {
 		return fmt.Errorf("sim: warmup fraction %v outside [0, 0.9)", c.WarmupFrac)
 	}
+	if c.SMTShare < 0 {
+		return fmt.Errorf("sim: negative SMT compute share %v", c.SMTShare)
+	}
+	if c.SMTExponent < 0 {
+		return fmt.Errorf("sim: negative SMT sharing exponent %v", c.SMTExponent)
+	}
 	return nil
+}
+
+// Normalized returns a copy of c with every zero-default resolved (core
+// count, SMT depth, window, gap scale, warmup fraction), validated the way
+// RunContext validates it. Two Configs with equal Normalized scalar fields,
+// the same platform and the same Fingerprint simulate identically — the
+// canonical identity the runner layer caches on.
+func (c Config) Normalized() (Config, error) {
+	if err := (&c).normalize(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
 }
 
 // Result reports steady-state measurements over the measurement window.
@@ -148,20 +181,17 @@ type Result struct {
 	RowHitFraction float64
 }
 
-// Run executes the configured node simulation to completion and returns
-// steady-state measurements.
+// RunContext executes the configured node simulation to completion and
+// returns steady-state measurements, with cooperative cancellation: the
+// event loop checks ctx every few thousand dispatched events and aborts
+// with ctx.Err() when it fires. A completed run's result is unaffected by
+// the checks.
 //
-// A run touches no mutable package-level state: the scheduler, node,
-// hierarchies and per-thread generators (seeded RNGs included) are all
-// constructed per call, so concurrent Runs are race-clean and each produces
-// the same bits it would alone.
-func Run(cfg Config) (*Result, error) {
-	return RunContext(context.Background(), cfg)
-}
-
-// RunContext is Run with cooperative cancellation: the event loop checks
-// ctx every few thousand dispatched events and aborts with ctx.Err() when
-// it fires. A completed run's result is unaffected by the checks.
+// A run shares no mutable state with other runs beyond the memsys
+// hierarchy pool, whose hierarchies are fully reset on acquisition: the
+// scheduler, node and per-thread generators (seeded RNGs included) are
+// constructed per call, so concurrent runs are race-clean and each
+// produces the same bits it would alone.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -201,17 +231,25 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Hierarchies come from the shared pool unless a configuration hook may
+	// leave state behind that Reset does not restore.
+	usePool := cfg.ConfigureHierarchy == nil
 	cores := make([]*cpu.Core, cfg.Cores)
+	genBuf := make([]cpu.Generator, cfg.Cores*cfg.ThreadsPerCore)
 	totalThreads := 0
 	for ci := range cores {
-		gens := make([]cpu.Generator, cfg.ThreadsPerCore)
+		gens := genBuf[ci*cfg.ThreadsPerCore : (ci+1)*cfg.ThreadsPerCore : (ci+1)*cfg.ThreadsPerCore]
 		for ti := range gens {
 			gens[ti] = cfg.NewGen(ci, ti)
 		}
-		cores[ci] = cpu.NewCore(node, gens, cfg.Window, gapScale)
-		if cfg.ConfigureHierarchy != nil {
-			cfg.ConfigureHierarchy(cores[ci].Hier)
+		var hier *memsys.Hierarchy
+		if usePool {
+			hier = memsys.AcquireHierarchy(node)
+		} else {
+			hier = memsys.NewHierarchy(node)
+			cfg.ConfigureHierarchy(hier)
 		}
+		cores[ci] = cpu.NewCoreWith(node, hier, gens, cfg.Window, gapScale)
 		totalThreads += len(cores[ci].Threads)
 	}
 
@@ -376,6 +414,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if t := l2hits + l2misses; t > 0 {
 		res.L2MissRatio = float64(l2misses) / float64(t)
+	}
+	if usePool {
+		// All hierarchy state has been read into res; the scheduler that
+		// still references these hierarchies is dropped with this frame.
+		for _, c := range cores {
+			memsys.ReleaseHierarchy(c.Hier)
+		}
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"littleslaw/internal/engine"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 )
 
@@ -54,7 +55,7 @@ func Replay(ctx context.Context, phases []ReplayPhase, opts ReplayOptions) (*Sli
 	for i, ph := range phases {
 		cfg := ph.Config
 		jobs[i] = func(ctx context.Context) (*sim.Result, error) {
-			return sim.RunContext(ctx, cfg)
+			return runner.Run(ctx, cfg)
 		}
 	}
 	results, err := engine.Map(ctx, engine.New(opts.Workers), jobs)

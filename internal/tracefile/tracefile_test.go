@@ -2,6 +2,7 @@ package tracefile
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"littleslaw/internal/cpu"
 	"littleslaw/internal/memsys"
 	"littleslaw/internal/platform"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/workloads"
 )
@@ -134,7 +136,7 @@ func TestRecordedWorkloadReplaysThroughSim(t *testing.T) {
 	}
 
 	data := buf.Bytes()
-	res, err := sim.Run(sim.Config{
+	res, err := runner.Run(context.Background(), sim.Config{
 		Plat:   p,
 		Cores:  2,
 		Window: cfg.Window,

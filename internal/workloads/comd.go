@@ -92,6 +92,7 @@ func (w *CoMD) Config(p *platform.Platform, threadsPerCore int, scale float64) s
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("CoMD", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         minInt(4, p.DemandWindow),
 		NewGen: func(coreID, threadID int) cpu.Generator {

@@ -100,6 +100,7 @@ func (w *DGEMM) Config(p *platform.Platform, threadsPerCore int, scale float64) 
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("DGEMM", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         minInt(8, p.DemandWindow),
 		NewGen: func(coreID, threadID int) cpu.Generator {

@@ -89,6 +89,7 @@ func (w *HPCG) Config(p *platform.Platform, threadsPerCore int, scale float64) s
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("HPCG", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         minInt(8, p.DemandWindow),
 		NewGen: func(coreID, threadID int) cpu.Generator {

@@ -110,6 +110,7 @@ func (w *ISx) Config(p *platform.Platform, threadsPerCore int, scale float64) si
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("ISx", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         w.isxWindow(p),
 		NewGen: func(coreID, threadID int) cpu.Generator {

@@ -117,6 +117,7 @@ func (w *MiniGhost) Config(p *platform.Platform, threadsPerCore int, scale float
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("MiniGhost", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         minInt(window, p.DemandWindow),
 		NewGen: func(coreID, threadID int) cpu.Generator {

@@ -100,6 +100,7 @@ func (w *PENNANT) Config(p *platform.Platform, threadsPerCore int, scale float64
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("PENNANT", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         window,
 		GapScale:       gapScale,

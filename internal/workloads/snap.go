@@ -97,6 +97,7 @@ func (w *SNAP) Config(p *platform.Platform, threadsPerCore int, scale float64) s
 
 	return sim.Config{
 		Plat:           p,
+		Fingerprint:    fingerprint("SNAP", w.v, scale),
 		ThreadsPerCore: threadsPerCore,
 		Window:         minInt(6, p.DemandWindow),
 		SMTShare:       smtShare,

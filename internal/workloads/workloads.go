@@ -17,6 +17,7 @@
 package workloads
 
 import (
+	"fmt"
 	"math/rand"
 
 	"littleslaw/internal/core"
@@ -24,6 +25,14 @@ import (
 	"littleslaw/internal/platform"
 	"littleslaw/internal/sim"
 )
+
+// fingerprint renders the generator identity a workload Config declares
+// for the runner cache: the workload, its full variant state and the work
+// scale determine the emitted operation stream (the platform and the
+// scalar sim fields are keyed separately by the runner).
+func fingerprint(name string, v Variant, scale float64) string {
+	return fmt.Sprintf("workloads/%s|%+v|scale=%g", name, v, scale)
+}
 
 // Variant selects the optimization state of a workload, mirroring the
 // Source column of Tables IV–IX.

@@ -42,6 +42,7 @@ import (
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
 	"littleslaw/internal/roofline"
+	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/workloads"
 	"littleslaw/internal/xmem"
@@ -107,15 +108,17 @@ func CharacterizeContext(ctx context.Context, p *PlatformSpec) (*Curve, error) {
 }
 
 // Run simulates a workload on the full node with the given SMT depth.
-// scale multiplies per-thread work (1.0 = benchmark size).
+// scale multiplies per-thread work (1.0 = benchmark size). All runs go
+// through the shared runner spine: identical configurations are
+// deduplicated and served from its cache.
 func Run(w WorkloadSpec, p *PlatformSpec, threadsPerCore int, scale float64) (*RunResult, error) {
-	return sim.Run(w.Config(p, threadsPerCore, scale))
+	return runner.Run(context.Background(), w.Config(p, threadsPerCore, scale))
 }
 
 // RunContext is Run with cooperative cancellation: the simulation's event
 // loop polls ctx and aborts early when it is cancelled or times out.
 func RunContext(ctx context.Context, w WorkloadSpec, p *PlatformSpec, threadsPerCore int, scale float64) (*RunResult, error) {
-	return sim.RunContext(ctx, w.Config(p, threadsPerCore, scale))
+	return runner.Run(ctx, w.Config(p, threadsPerCore, scale))
 }
 
 // MeasurementFrom converts a simulated run into the metric's input, the
