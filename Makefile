@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/
+RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race bench bench-stream bench-json fuzz lint check loadtest
+.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest
 
 all: check
 
@@ -26,6 +26,18 @@ test:
 race:
 	$(GO) test -race -short $(RACE_PKGS)
 	$(GO) test -race -run 'Determin' ./internal/experiments/ ./internal/autotune/
+
+# test-chaos drives llserved's full handler stack under a fixed-seed fault
+# storm (injected latency/errors/panics at every site) with the resilient
+# client, under the race detector: every request must eventually succeed,
+# every limiter slot must come back, and no goroutine may leak. The panic
+# regressions ride along because a leaked slot is the chaos failure mode.
+# CHAOS_COUNT > 1 turns this into a soak (see .github/workflows/soak.yml).
+CHAOS_COUNT ?= 1
+test-chaos:
+	$(GO) test -race -count $(CHAOS_COUNT) -timeout 15m \
+		-run 'TestChaos|TestFaultsDisabledIsNoOp|TestHandlerPanic' \
+		./internal/service/ ./internal/limit/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -84,5 +96,5 @@ loadtest:
 	curl -sf http://$(LOADTEST_ADDR)/metrics | grep '^llserved_limiter' || true; \
 	exit $$code
 
-# check is the tier-1 gate plus the race job.
-check: vet build test race
+# check is the tier-1 gate plus the race and chaos jobs.
+check: vet build test race test-chaos

@@ -1,16 +1,18 @@
 // Command llload drives llserved with synthetic traffic: a closed-loop
 // population of clients or an open-loop arrival process at a fixed rate,
-// honoring the admission controller's 429 + Retry-After with client-side
-// retries. It is the manual companion to the end-to-end shed/recover test:
-// point it at a server, push past capacity, and watch /metrics report the
-// limiter holding n_avg at the ceiling while the excess sheds.
+// through the resilient internal/client (per-attempt timeouts, capped
+// jittered backoff on 429/5xx, Retry-After honoring). It is the manual
+// companion to the end-to-end shed/recover and chaos tests: point it at a
+// server, push past capacity, and watch /metrics report the limiter
+// holding n_avg at the ceiling while the excess sheds.
 //
 // Usage:
 //
 //	llload -url http://localhost:8080/v1/analyze -body '{"platform":"SKL","measurement":{"bandwidth_gbs":80}}'
 //	llload -url ... -mode open -rate 400 -duration 10s      # open loop, 400 req/s offered
 //	llload -url ... -mode closed -c 16 -duration 10s        # closed loop, 16 clients
-//	llload -url ... -retries 3                              # honor Retry-After up to 3 times
+//	llload -url ... -retries 3                              # retry 429/5xx, honoring Retry-After
+//	llload -url ... -mode open -arrivals poisson -seed 42   # reproducible Poisson arrivals
 package main
 
 import (
@@ -35,10 +37,12 @@ func main() {
 	mode := flag.String("mode", "closed", "driving discipline: closed (fixed clients) or open (fixed arrival rate)")
 	concurrency := flag.Int("c", 4, "closed-loop client population")
 	rate := flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
+	arrivals := flag.String("arrivals", "uniform", "open-loop arrival discipline: uniform or poisson")
 	duration := flag.Duration("duration", 5*time.Second, "how long to drive")
 	maxRequests := flag.Int("n", 0, "stop after this many arrivals (0 = until -duration)")
-	retries := flag.Int("retries", 0, "retry budget per request on 429 (sleeps for Retry-After)")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	retries := flag.Int("retries", 0, "retry cap per arrival on 429/5xx (sleeps for Retry-After when hinted)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt client timeout")
+	seed := flag.Int64("seed", 0, "seed for the arrival schedule and retry jitter (0 = from the clock); same seed replays the same offered load")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -65,11 +69,15 @@ func main() {
 
 	fmt.Printf("llload: %s %s  mode=%s", methodFor(*method, payload), *url, *mode)
 	if *mode == "open" {
-		fmt.Printf(" rate=%g/s", *rate)
+		fmt.Printf(" rate=%g/s arrivals=%s", *rate, *arrivals)
 	} else {
 		fmt.Printf(" clients=%d", *concurrency)
 	}
-	fmt.Printf(" duration=%s retries=%d\n", *duration, *retries)
+	fmt.Printf(" duration=%s retries=%d", *duration, *retries)
+	if *seed != 0 {
+		fmt.Printf(" seed=%d", *seed)
+	}
+	fmt.Println()
 
 	res, err := loadgen.Run(ctx, loadgen.Options{
 		URL:         *url,
@@ -79,10 +87,12 @@ func main() {
 		Mode:        *mode,
 		Concurrency: *concurrency,
 		Rate:        *rate,
+		Arrivals:    *arrivals,
 		Duration:    *duration,
 		MaxRequests: *maxRequests,
 		Retries:     *retries,
 		Timeout:     *timeout,
+		Seed:        *seed,
 	})
 	if err != nil {
 		fail(err)

@@ -13,6 +13,7 @@
 //	llserved -workers 8              # per-request simulation concurrency
 //	llserved -limit-ceiling 32       # Little's-Law admission ceiling
 //	llserved -limit-ceiling -1       # disable admission control
+//	llserved -faults 'seed=42;handler.*=error:0.2'   # arm fault injection
 //
 // Endpoints:
 //
@@ -28,6 +29,8 @@
 //	GET  /v1/tables/{IV..IX}?scale=  regenerated paper table (also T4..T9)
 //	POST /v1/watch                   stream monitor (NDJSON / SSE)
 //	GET  /v1/watch/{stream}          subscribe to a named stream
+//	GET  /v1/faults                  fault-injection state and tallies
+//	POST /v1/faults                  reconfigure or toggle fault injection
 //
 // All endpoints accept ?timeout=30s. The /v1/* routes sit behind an
 // admission controller that applies the paper's own law to the server:
@@ -51,6 +54,7 @@ import (
 
 	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/experiments"
+	"littleslaw/internal/faults"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
 	"littleslaw/internal/service"
@@ -71,6 +75,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server read timeout (full request including body)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-write response deadline, re-armed before every write (bounds stalled clients without cutting long-lived streams)")
+	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. 'seed=42;handler.*=error:0.2;runner.run=latency:0.1:50ms' (empty = faults off; runtime control via /v1/faults)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -92,6 +97,16 @@ func main() {
 		cfg.ProfileFor = func(_ context.Context, p *platform.Platform) (*queueing.Curve, error) {
 			return experiments.PaperProfileFor(p)
 		}
+	}
+	if *faultSpec != "" {
+		seed, rules, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("llserved: -faults: %v", err)
+		}
+		if err := faults.Global().Configure(seed, rules); err != nil {
+			log.Fatalf("llserved: -faults: %v", err)
+		}
+		log.Printf("llserved: fault injection armed (%s)", faults.FormatSpec(seed, rules))
 	}
 	srv := service.New(cfg)
 

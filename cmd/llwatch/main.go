@@ -1,26 +1,36 @@
-// Command llwatch tails a stream of bandwidth counter samples (NDJSON on
-// stdin or a file) and runs the sliding-window Little's-Law monitor over
-// it live: every window prints a sparkline of n_avg against the binding
-// MSHR ceiling, every detected phase prints its Figure-1 recipe advice,
-// and the final summary calls out when the whole-stream average would
-// have misled (§III-D).
+// Command llwatch runs the sliding-window Little's-Law monitor live, in
+// either of two places. Locally, it tails a stream of bandwidth counter
+// samples (NDJSON on stdin or a file) and runs the monitor itself. Remotely
+// (-url), it tails a named llserved stream — GET /v1/watch/{stream} — over
+// the resilient client: the connection retries with backoff, a broken
+// stream reconnects and deduplicates replayed events by sequence number,
+// and a terminal "error" event from the server (its monitor died) is
+// surfaced instead of a silent hang. Either way: every window prints a
+// sparkline of n_avg against the binding MSHR ceiling, every detected
+// phase prints its Figure-1 recipe advice, and the final summary calls out
+// when the whole-stream average would have misled (§III-D).
 //
 // Usage:
 //
 //	llserved-style counters | llwatch -platform SKL
 //	llwatch -platform SKL -f samples.ndjson -window 8 -stride 4
+//	llwatch -url http://localhost:8080 -stream run42    # remote tail
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"littleslaw/internal/buildinfo"
+	"littleslaw/internal/client"
 	"littleslaw/internal/experiments"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
@@ -30,8 +40,11 @@ import (
 )
 
 func main() {
-	platName := flag.String("platform", "SKL", "platform whose curve and MSHR ceilings apply")
-	input := flag.String("f", "-", "NDJSON sample file ('-' = stdin)")
+	platName := flag.String("platform", "SKL", "platform whose curve and MSHR ceilings apply (local mode)")
+	input := flag.String("f", "-", "NDJSON sample file ('-' = stdin; local mode)")
+	remoteURL := flag.String("url", "", "llserved base URL — tail a server-side stream instead of running the monitor locally")
+	streamName := flag.String("stream", "", "named stream to tail on the server (with -url)")
+	reconnects := flag.Int("reconnect", 5, "times to reconnect a broken remote stream before giving up (with -url)")
 	period := flag.Float64("period", 1, "seconds between samples that carry no t_s")
 	window := flag.Int("window", 8, "sliding-window width in samples")
 	stride := flag.Int("stride", 0, "window stride in samples (0 = half the window)")
@@ -50,6 +63,21 @@ func main() {
 		// -spark 0 would slide an empty history ring and panic; one column
 		// is the narrowest sparkline that still means anything.
 		*spark = 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	pr := &printer{spark: *spark, history: make([]float64, 0, *spark)}
+
+	if *remoteURL != "" {
+		if *streamName == "" {
+			fail(fmt.Errorf("-url needs -stream (the server-side stream name)"))
+		}
+		if err := tail(ctx, *remoteURL, *streamName, *reconnects, pr); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	p, err := platform.ByName(*platName)
@@ -77,9 +105,6 @@ func main() {
 		r = f
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	cfg := stream.Config{
 		Platform:       p,
 		Profile:        profile,
@@ -89,43 +114,115 @@ func main() {
 		ThreadsPerCore: *threads,
 		RandomAccess:   *random,
 	}
-	// The sparkline's fixed ceiling is the window's binding MSHR capacity,
-	// so a full block always reads "queue at its limit".
-	history := make([]float64, 0, *spark)
-	sum, err := stream.Monitor(ctx, stream.NewNDJSONSource(r, *period), cfg, func(ev stream.Event) error {
-		switch ev.Kind {
-		case "window":
-			w := ev.Window
-			if len(history) == *spark {
-				history = append(history[:0], history[1:]...)
-			}
-			history = append(history, w.Occupancy)
-			mark := " "
-			if w.Saturated {
-				mark = "!"
-			}
-			fmt.Printf("%*s  n_avg %5.1f /%2d %-2s%s  %6.1f GB/s  %5.1f ns  [%.0f–%.0fs]\n",
-				*spark, textplot.Sparkline(history, 0, float64(w.LimiterCapacity)),
-				w.Occupancy, w.LimiterCapacity, w.Limiter, mark, w.BandwidthGBs, w.LatencyNs, w.StartS, w.EndS)
-		case "phase":
-			ph := ev.Phase
-			fmt.Printf("-- phase %d [%.0f–%.0fs, %d windows]: %s (n_avg %.1f/%d %s at %.1f GB/s)\n",
-				ph.Index, ph.StartS, ph.EndS, ph.Windows, ph.Action,
-				ph.Occupancy, ph.LimiterCapacity, ph.Limiter, ph.BandwidthGBs)
-			for _, a := range ph.Advice {
-				fmt.Printf("     %-10s %-22s %s\n", a.Stance, a.Optimization, a.Reason)
-			}
-		}
-		return nil
-	})
+	sum, err := stream.Monitor(ctx, stream.NewNDJSONSource(r, *period), cfg, pr.print)
 	if err != nil {
 		fail(err)
 	}
+	pr.summary(*sum)
+}
 
+// printer renders monitor events; both the local monitor and the remote
+// tail feed it.
+type printer struct {
+	spark   int
+	history []float64
+}
+
+func (pr *printer) print(ev stream.Event) error {
+	switch ev.Kind {
+	case "window":
+		w := ev.Window
+		// The sparkline's fixed ceiling is the window's binding MSHR
+		// capacity, so a full block always reads "queue at its limit".
+		if len(pr.history) == pr.spark {
+			pr.history = append(pr.history[:0], pr.history[1:]...)
+		}
+		pr.history = append(pr.history, w.Occupancy)
+		mark := " "
+		if w.Saturated {
+			mark = "!"
+		}
+		fmt.Printf("%*s  n_avg %5.1f /%2d %-2s%s  %6.1f GB/s  %5.1f ns  [%.0f–%.0fs]\n",
+			pr.spark, textplot.Sparkline(pr.history, 0, float64(w.LimiterCapacity)),
+			w.Occupancy, w.LimiterCapacity, w.Limiter, mark, w.BandwidthGBs, w.LatencyNs, w.StartS, w.EndS)
+	case "phase":
+		ph := ev.Phase
+		fmt.Printf("-- phase %d [%.0f–%.0fs, %d windows]: %s (n_avg %.1f/%d %s at %.1f GB/s)\n",
+			ph.Index, ph.StartS, ph.EndS, ph.Windows, ph.Action,
+			ph.Occupancy, ph.LimiterCapacity, ph.Limiter, ph.BandwidthGBs)
+		for _, a := range ph.Advice {
+			fmt.Printf("     %-10s %-22s %s\n", a.Stance, a.Optimization, a.Reason)
+		}
+	}
+	return nil
+}
+
+func (pr *printer) summary(sum stream.SummaryEvent) {
 	fmt.Printf("== %d samples, %d windows, %d phases; whole-stream mean %.1f GB/s -> n_avg %.1f, action %s\n",
 		sum.Samples, sum.Windows, sum.Phases, sum.BandwidthGBs, sum.Occupancy, sum.Action)
 	if sum.MisleadingAggregate {
 		fmt.Printf("!! the whole-stream average misleads: %s\n", sum.Detail)
+	}
+}
+
+// errStreamDone unwinds the tail once a terminal event (summary or error)
+// arrived — the server closes the stream right after, but unwinding on the
+// event itself means a stalled close cannot hang the watcher.
+var errStreamDone = errors.New("stream done")
+
+// tail follows a server-side stream. Reconnects replay recent events from
+// the broker's buffer; lastSeq filters the replay so each event prints
+// exactly once.
+func tail(ctx context.Context, baseURL, name string, reconnects int, pr *printer) error {
+	cl, err := client.New(client.Config{BaseURL: baseURL})
+	if err != nil {
+		return err
+	}
+	lastSeq := -1
+	var terminal error
+	done := false
+	for tryConnect := 0; ; tryConnect++ {
+		err := cl.Stream(ctx, "/v1/watch/"+name, func(line []byte) error {
+			var ev stream.Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return fmt.Errorf("bad event: %w", err)
+			}
+			if ev.Seq <= lastSeq {
+				return nil
+			}
+			lastSeq = ev.Seq
+			switch ev.Kind {
+			case "summary":
+				pr.summary(*ev.Summary)
+				done = true
+				return errStreamDone
+			case "error":
+				terminal = fmt.Errorf("server monitor failed: %s", ev.Error.Message)
+				done = true
+				return errStreamDone
+			default:
+				return pr.print(ev)
+			}
+		})
+		switch {
+		case done:
+			return terminal
+		case err == nil:
+			// Clean EOF without a terminal event: the stream closed
+			// server-side (monitor finished before we subscribed, or the
+			// server shut down). Nothing more will come.
+			return nil
+		case ctx.Err() != nil:
+			return nil
+		case tryConnect >= reconnects:
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "llwatch: stream broken (%v), reconnecting %d/%d\n", err, tryConnect+1, reconnects)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(500 * time.Millisecond):
+		}
 	}
 }
 

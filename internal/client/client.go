@@ -1,0 +1,502 @@
+// Package client is the resilient Go client for the llserved /v1/* API:
+// the other half of the fault-tolerance story. The server side sheds load
+// with 429 + Retry-After and degrades injected chaos to clean transient
+// errors; this side turns those signals into eventual success without
+// amplifying an overload. Every request gets a per-attempt timeout, a
+// capped exponential backoff with seeded full jitter, Retry-After honoring
+// on 429/503, and — crucially — a retry *budget*: a token bucket that
+// earns a fraction of a token per request and spends one per retry, so a
+// fleet of clients retrying into a struggling server converges to ~(1 +
+// ratio)× the offered load instead of multiplying it (the Finagle/SRE-book
+// discipline).
+//
+// cmd/llload drives load through it (via internal/loadgen) and cmd/llwatch
+// tails /v1/watch streams through it; the chaos end-to-end tests prove the
+// pairing: 30% injected faults at 2× capacity, 100% eventual success.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a Client. Zero values take the documented defaults.
+type Config struct {
+	// BaseURL prefixes every request path (required), e.g.
+	// "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = a fresh http.Client).
+	HTTPClient *http.Client
+	// Timeout bounds each attempt, not the whole request (0 = 10s).
+	Timeout time.Duration
+	// MaxAttempts caps attempts per request, first try included (0 = 4;
+	// 1 = never retry).
+	MaxAttempts int
+	// Backoff is the base retry delay; attempt n sleeps a jittered value
+	// in (0, min(Backoff·2ⁿ, MaxBackoff)] unless the server sent a
+	// Retry-After hint (0 = 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = 5s).
+	MaxBackoff time.Duration
+	// MaxRetryAfter caps how long a server Retry-After hint is honored,
+	// so a hostile or confused server cannot park the client (0 = 30s).
+	MaxRetryAfter time.Duration
+	// Seed makes the backoff jitter deterministic for reproducible runs
+	// (0 = seeded from the clock).
+	Seed int64
+	// BudgetRatio is the retry-budget earn rate: each request adds this
+	// many tokens (capped at BudgetMax) and each retry spends one, so
+	// sustained retries cannot exceed ~ratio× the request rate. 0 = 0.1;
+	// negative disables the budget (retries limited by MaxAttempts only —
+	// load generators that *want* to offer aggressive load use this).
+	BudgetRatio float64
+	// BudgetMax caps banked tokens, bounding the retry burst after a
+	// quiet period (0 = 10).
+	BudgetMax float64
+}
+
+func (c *Config) normalize() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("client: BaseURL is required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	if c.BudgetRatio == 0 {
+		c.BudgetRatio = 0.1
+	}
+	if c.BudgetMax <= 0 {
+		c.BudgetMax = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return nil
+}
+
+// Stats counts a Client's lifetime behavior (for load reports and tests).
+type Stats struct {
+	// Requests is the number of Do/Stream calls.
+	Requests uint64
+	// Attempts is the total HTTP attempts, first tries included.
+	Attempts uint64
+	// Retries is the extra attempts beyond each request's first.
+	Retries uint64
+	// BudgetDenied counts retries forgone because the token bucket was
+	// empty — the anti-amplification path.
+	BudgetDenied uint64
+	// Hints counts retryable responses that carried a Retry-After header.
+	Hints uint64
+}
+
+// Result is one completed request (any status — a 429 after exhausting
+// retries is a Result, not an error; only transport failures error).
+type Result struct {
+	// Status is the final attempt's HTTP status.
+	Status int
+	// Body is the final response body.
+	Body []byte
+	// Header is the final response's headers.
+	Header http.Header
+	// Attempts is how many tries this request used.
+	Attempts int
+	// Hints is how many of this request's retryable responses carried a
+	// Retry-After header.
+	Hints int
+	// Latency is the final attempt's wall time.
+	Latency time.Duration
+}
+
+// Client is the resilient API client. Construct with New; all methods are
+// safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	tokens float64
+	stats  Stats
+}
+
+// New builds a Client.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		tokens: cfg.BudgetMax,
+	}, nil
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// retryable reports whether a status is worth another attempt: the
+// admission controller's shed, and the transient 5xx family a fault layer
+// or a dying dependency produces.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// spend asks the retry budget for one token, earning first. Callers get a
+// retry iff the bucket holds a whole token.
+func (c *Client) spend() bool {
+	if c.cfg.BudgetRatio < 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tokens < 1 {
+		c.stats.BudgetDenied++
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// earn credits the budget for one request.
+func (c *Client) earn() {
+	if c.cfg.BudgetRatio < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.tokens = min(c.cfg.BudgetMax, c.tokens+c.cfg.BudgetRatio)
+	c.mu.Unlock()
+}
+
+// backoffDelay computes the attempt'th retry sleep: the server's hint when
+// it gave one (capped at MaxRetryAfter), otherwise capped exponential
+// backoff with full jitter — a uniform draw in (0, cap], so synchronized
+// clients desynchronize.
+func (c *Client) backoffDelay(attempt int, hinted bool, hint time.Duration) time.Duration {
+	if hinted {
+		return min(hint, c.cfg.MaxRetryAfter)
+	}
+	ceil := c.cfg.Backoff << (attempt - 1)
+	if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+		ceil = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil))) + 1
+	c.mu.Unlock()
+	return d
+}
+
+// retryAfter parses a Retry-After header (whole seconds, the form the
+// limiter emits).
+func retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// sleep waits for d or ctx, reporting false when the context died first.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Do issues one request with retries: method + path (joined to BaseURL),
+// optional body. Retryable statuses (429, 500, 502, 503, 504) and
+// transport errors are retried within MaxAttempts and the retry budget,
+// honoring Retry-After; everything else returns on the first attempt. The
+// returned error is non-nil only for option problems, context expiry, or
+// a transport failure on the final attempt — HTTP error statuses are
+// returned as a Result for the caller to interpret.
+func (c *Client) Do(ctx context.Context, method, path, contentType string, body []byte) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.earn()
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	res := &Result{}
+	for {
+		res.Attempts++
+		c.mu.Lock()
+		c.stats.Attempts++
+		if res.Attempts > 1 {
+			c.stats.Retries++
+		}
+		c.mu.Unlock()
+
+		status, header, respBody, lat, err := c.once(ctx, method, path, contentType, body)
+		hint, hinted := time.Duration(0), false
+		if err == nil {
+			res.Status, res.Header, res.Body, res.Latency = status, header, respBody, lat
+			if !retryable(status) {
+				return res, nil
+			}
+			hint, hinted = retryAfter(header)
+			if hinted {
+				res.Hints++
+				c.mu.Lock()
+				c.stats.Hints++
+				c.mu.Unlock()
+			}
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+
+		if res.Attempts >= c.cfg.MaxAttempts || !c.spend() {
+			if err != nil {
+				return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+			}
+			return res, nil
+		}
+		if !sleep(ctx, c.backoffDelay(res.Attempts, hinted, hint)) {
+			if err != nil {
+				return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+			}
+			return res, nil
+		}
+	}
+}
+
+// once is a single attempt under the per-attempt timeout.
+func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte) (int, http.Header, []byte, time.Duration, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	if len(body) > 0 {
+		if contentType == "" {
+			contentType = "application/json"
+		}
+		req.Header.Set("Content-Type", contentType)
+	}
+	begin := time.Now()
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	return resp.StatusCode, resp.Header, data, time.Since(begin), nil
+}
+
+// apiError extracts the service's JSON error envelope, falling back to the
+// raw body.
+func apiError(res *Result) error {
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(res.Body, &env) == nil && env.Error != "" {
+		return fmt.Errorf("client: server returned %d: %s", res.Status, env.Error)
+	}
+	return fmt.Errorf("client: server returned %d", res.Status)
+}
+
+// GetJSON GETs path and decodes a 2xx JSON body into out.
+func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
+	res, err := c.Do(ctx, http.MethodGet, path, "", nil)
+	if err != nil {
+		return err
+	}
+	if res.Status < 200 || res.Status >= 300 {
+		return apiError(res)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(res.Body, out)
+}
+
+// PostJSON POSTs in (JSON-encoded) to path and decodes a 2xx JSON body
+// into out.
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	res, err := c.Do(ctx, http.MethodPost, path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	if res.Status < 200 || res.Status >= 300 {
+		return apiError(res)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(res.Body, out)
+}
+
+// Stream GETs an NDJSON stream (e.g. /v1/watch/{name}) and hands each
+// line to fn. Connection establishment retries like Do (retryable status,
+// budget, Retry-After); once the stream is open, the per-attempt timeout
+// no longer applies — streams are long-lived — and a mid-stream transport
+// error returns so the caller can decide to reconnect (events carry
+// sequence numbers, so a reconnecting tailer deduplicates on seq). fn
+// errors abort the stream and are returned verbatim.
+func (c *Client) Stream(ctx context.Context, path string, fn func(line []byte) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.earn()
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		c.stats.Attempts++
+		if attempt > 1 {
+			c.stats.Retries++
+		}
+		c.mu.Unlock()
+
+		resp, err := c.openStream(ctx, path)
+		hint, hinted := time.Duration(0), false
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				return drainLines(ctx, resp, fn)
+			}
+			hinted = retryable(resp.StatusCode)
+			if hinted {
+				if h, ok := retryAfter(resp.Header); ok {
+					hint = h
+					c.mu.Lock()
+					c.stats.Hints++
+					c.mu.Unlock()
+				}
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if !retryable(resp.StatusCode) {
+				return apiError(&Result{Status: resp.StatusCode, Body: body})
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+
+		if attempt >= c.cfg.MaxAttempts || !c.spend() {
+			if err != nil {
+				return fmt.Errorf("client: GET %s: %w", path, err)
+			}
+			return fmt.Errorf("client: GET %s: gave up after %d attempts", path, attempt)
+		}
+		if !sleep(ctx, c.backoffDelay(attempt, hinted && hint > 0, hint)) {
+			return ctx.Err()
+		}
+	}
+}
+
+// openStream starts the streaming GET. Only the connection phase is
+// bounded: the response header must arrive within Timeout, enforced by a
+// watchdog that is disarmed as soon as the headers land.
+func (c *Client) openStream(ctx context.Context, path string) (*http.Response, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	watchdog := time.AfterFunc(c.cfg.Timeout, cancel)
+	resp, err := c.cfg.HTTPClient.Do(req)
+	watchdog.Stop()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// cancel must outlive the body read; tie it to the body's Close.
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// maxLineBytes bounds one NDJSON event line (a table-sized event is well
+// under this).
+const maxLineBytes = 1 << 20
+
+func drainLines(ctx context.Context, resp *http.Response, fn func([]byte) error) error {
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: stream broken: %w", err)
+	}
+	return nil
+}

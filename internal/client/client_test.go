@@ -1,0 +1,410 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestClient(t *testing.T, url string, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		BaseURL: url,
+		Timeout: 2 * time.Second,
+		Backoff: time.Millisecond,
+		Seed:    1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"injected"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	res, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", res.Status)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Requests != 1 || st.Attempts != 3 {
+		t.Fatalf("stats = %+v, want 1 request / 3 attempts / 2 retries", st)
+	}
+}
+
+func TestDoDoesNotRetryNonRetryable(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad input"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	res, err := c.Do(context.Background(), http.MethodPost, "/x", "application/json", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusBadRequest || res.Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("status=%d attempts=%d calls=%d, want one 400 attempt", res.Status, res.Attempts, calls.Load())
+	}
+}
+
+func TestDoReturnsFinalRetryableStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) { cfg.MaxAttempts = 3 })
+	res, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 surfaced as a Result", res.Status)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want MaxAttempts=3", res.Attempts)
+	}
+	if res.Hints != 3 {
+		t.Fatalf("hints = %d, want 3 (every 429 carried Retry-After)", res.Hints)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	begin := time.Now()
+	res, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusOK || res.Attempts != 2 {
+		t.Fatalf("status=%d attempts=%d, want 200 on attempt 2", res.Status, res.Attempts)
+	}
+	// The server asked for 1s; the default jittered backoff would have been
+	// ~1ms, so elapsed >= 1s proves the hint won.
+	if elapsed := time.Since(begin); elapsed < time.Second {
+		t.Fatalf("elapsed = %v, want >= 1s (Retry-After honored)", elapsed)
+	}
+}
+
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) { cfg.MaxRetryAfter = 20 * time.Millisecond })
+	begin := time.Now()
+	if _, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("elapsed = %v: an hour-long Retry-After was not capped", elapsed)
+	}
+}
+
+func TestRetryBudgetPreventsAmplification(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	const requests = 100
+	c := newTestClient(t, srv.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 4
+		cfg.BudgetRatio = 0.1
+		cfg.BudgetMax = 2
+	})
+	for i := 0; i < requests; i++ {
+		if _, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	st := c.Stats()
+	if st.BudgetDenied == 0 {
+		t.Fatalf("stats = %+v, want budget denials against an all-failing server", st)
+	}
+	// Bank (2) + earn (0.1/request) bounds total retries at 2 + 0.1·100 = 12;
+	// without the budget MaxAttempts alone would allow 300.
+	if maxRetries := uint64(2 + requests/10); st.Retries > maxRetries {
+		t.Fatalf("retries = %d, want <= %d (budget must bound amplification)", st.Retries, maxRetries)
+	}
+}
+
+func TestUnlimitedBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 3
+		cfg.BudgetRatio = -1
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil); err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+	}
+	st := c.Stats()
+	if st.Retries != 20 || st.BudgetDenied != 0 {
+		t.Fatalf("stats = %+v, want full 2 retries × 10 requests with no denials", st)
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+			case <-time.After(5 * time.Second):
+			}
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) { cfg.Timeout = 50 * time.Millisecond })
+	res, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil)
+	if err != nil {
+		t.Fatalf("Do: %v (a hung first attempt should time out and be retried)", err)
+	}
+	if res.Status != http.StatusOK || res.Attempts != 2 {
+		t.Fatalf("status=%d attempts=%d, want 200 on attempt 2", res.Status, res.Attempts)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 1000
+		cfg.Backoff = 50 * time.Millisecond
+		cfg.MaxBackoff = 50 * time.Millisecond
+		cfg.BudgetRatio = -1
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	res, err := c.Do(ctx, http.MethodGet, "/x", "", nil)
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("Do ran %v past its context", elapsed)
+	}
+	// Cancellation mid-backoff returns the last response; mid-attempt the
+	// context error. Either is fine — just not an endless loop.
+	if err == nil && res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			fmt.Fprint(w, `{"value":7}`)
+		case "/echo":
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"value":9}`)
+		default:
+			http.Error(w, `{"error":"no such route"}`, http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	var out struct {
+		Value int `json:"value"`
+	}
+	if err := c.GetJSON(context.Background(), "/ok", &out); err != nil || out.Value != 7 {
+		t.Fatalf("GetJSON = %v, out = %+v", err, out)
+	}
+	if err := c.PostJSON(context.Background(), "/echo", map[string]int{"in": 1}, &out); err != nil || out.Value != 9 {
+		t.Fatalf("PostJSON = %v, out = %+v", err, out)
+	}
+	err := c.GetJSON(context.Background(), "/missing", &out)
+	if err == nil || !strings.Contains(err.Error(), "no such route") {
+		t.Fatalf("GetJSON(missing) = %v, want the envelope's error text", err)
+	}
+}
+
+func TestStreamDeliversLines(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl := w.(http.Flusher)
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"seq":%d}`+"\n", i)
+			fl.Flush()
+		}
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	var lines []string
+	err := c.Stream(context.Background(), "/v1/watch/x", func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if len(lines) != 3 || lines[2] != `{"seq":2}` {
+		t.Fatalf("lines = %q, want 3 NDJSON events", lines)
+	}
+}
+
+func TestStreamRetriesConnection(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":"stream limit"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"seq":0}`+"\n")
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	var got int
+	if err := c.Stream(context.Background(), "/v1/watch/x", func([]byte) error { got++; return nil }); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if got != 1 || calls.Load() != 3 {
+		t.Fatalf("got=%d calls=%d, want the line after 2 connect retries", got, calls.Load())
+	}
+}
+
+func TestStreamCallbackErrorAborts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, `{"seq":0}`+"\n")
+		fl.Flush()
+		fmt.Fprint(w, `{"seq":1}`+"\n")
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	sentinel := fmt.Errorf("stop here")
+	err := c.Stream(context.Background(), "/v1/watch/x", func([]byte) error { return sentinel })
+	if err != sentinel {
+		t.Fatalf("Stream = %v, want the callback's error verbatim", err)
+	}
+}
+
+func TestStreamNonRetryableStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown stream"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	err := c.Stream(context.Background(), "/v1/watch/x", func([]byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown stream") {
+		t.Fatalf("Stream = %v, want the 404 envelope error", err)
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		c, err := New(Config{BaseURL: "http://localhost", Seed: seed})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var ds []time.Duration
+		for attempt := 1; attempt <= 6; attempt++ {
+			ds = append(ds, c.backoffDelay(attempt, false, 0))
+		}
+		return ds
+	}
+	a, b := delays(42), delays(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	c := delays(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical jitter: %v", a)
+	}
+}
+
+func TestBackoffRespectsCaps(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:    "http://localhost",
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for attempt := 1; attempt <= 64; attempt++ {
+		d := c.backoffDelay(attempt, false, 0)
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside (0, MaxBackoff]", attempt, d)
+		}
+	}
+}
+
+func TestNewRequiresBaseURL(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no BaseURL should fail")
+	}
+}

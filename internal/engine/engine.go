@@ -19,7 +19,15 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"littleslaw/internal/faults"
 )
+
+// FaultSite is the engine's fault-injection point, evaluated once per
+// protected job (every Map job and every LRU computation). It honors all
+// three job-shaped kinds: latency, error, and panic — the last exercising
+// the pool's own panic-to-PanicError recovery.
+const FaultSite = "engine.job"
 
 // Pool is a bounded worker pool. The zero value is not useful; construct
 // with New. A Pool carries no queues or goroutines of its own — each Map
@@ -59,13 +67,24 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job panicked: %v\n%s", e.Value, e.Stack)
 }
 
-// protect runs job with panic-to-error recovery.
+// protect runs job with panic-to-error recovery. It is also the engine's
+// fault-injection point: an injected panic lands inside the recovery
+// envelope, proving one chaotic job aborts its pipeline with a diagnosable
+// error rather than the process.
 func protect[T any](ctx context.Context, job func(context.Context) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
+	switch f := faults.Global().Eval(FaultSite); f.Kind {
+	case faults.KindLatency:
+		f.Sleep(ctx)
+	case faults.KindError:
+		return v, f.Err()
+	case faults.KindPanic:
+		panic(f.PanicValue())
+	}
 	return job(ctx)
 }
 

@@ -115,3 +115,68 @@ func TestHandlerShedResponseShape(t *testing.T) {
 		t.Fatalf("Content-Type = %q", ct)
 	}
 }
+
+// TestHandlerPanicReleasesSlot is the slot-leak regression test for the
+// standalone middleware: before the panic guard, a panicking handler
+// unwound past the release and its slot stayed booked forever — with a
+// ceiling of 1, one panic wedged the limiter shut. Alternating guaranteed
+// panics with clean requests proves the slot comes home every time, and
+// that the panic surfaces as a 500 JSON envelope rather than a severed
+// connection.
+func TestHandlerPanicReleasesSlot(t *testing.T) {
+	l := limit.New(limit.Config{Ceiling: 1, MaxQueue: -1})
+	h := limit.Handler(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("kaboom")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		resp, err := http.Get(ts.URL + "/boom")
+		if err != nil {
+			t.Fatalf("round %d: panic severed the connection: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("round %d: status = %d, want 500", i, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("round %d: Content-Type = %q", i, ct)
+		}
+		resp.Body.Close()
+
+		// With ceiling 1 and no queue, a leaked slot makes this a 429.
+		resp, err = http.Get(ts.URL + "/ok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: request after panic = %d, want 200 (slot leaked?)", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if snap := l.Snapshot(); snap.InFlight != 0 {
+		t.Fatalf("in-flight = %d after all requests, want 0", snap.InFlight)
+	}
+}
+
+// TestHandlerPanicAfterWriteDoesNotDoubleRespond: a handler that panics
+// after it already started its response must not get a second 500 header
+// stacked on top — but its slot still comes back.
+func TestHandlerPanicAfterWriteDoesNotDoubleRespond(t *testing.T) {
+	l := limit.New(limit.Config{Ceiling: 1, MaxQueue: -1})
+	h := limit.Handler(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want the handler's own 202 preserved", rec.Code)
+	}
+	if snap := l.Snapshot(); snap.InFlight != 0 {
+		t.Fatalf("in-flight = %d, want 0", snap.InFlight)
+	}
+}

@@ -32,7 +32,16 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"littleslaw/internal/faults"
 )
+
+// FaultSite is the admission path's fault-injection point, evaluated once
+// per Acquire before any limiter state is touched. It honors latency
+// faults only (a slow admission decision — lock contention, a stalled
+// scheduler — is the realistic failure here; the limiter's own shed path
+// already models refusal).
+const FaultSite = "limit.acquire"
 
 // Config tunes a Limiter. Zero values take the documented defaults.
 type Config struct {
@@ -178,6 +187,12 @@ func (l *Limiter) Ceiling() float64 { return l.cfg.Ceiling }
 // A denial returns a *ShedError (matching ErrShed) when the limiter shed
 // the request, or the context's error when ctx expired while queued.
 func (l *Limiter) Acquire(ctx context.Context, route string) (release func(), waited bool, err error) {
+	if f := faults.Global().Eval(FaultSite); f.Kind == faults.KindLatency {
+		f.Sleep(ctx)
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
 	now := l.cfg.Now()
 	l.mu.Lock()
 	// First grant any queued waiters the decayed occupancy now permits —

@@ -49,10 +49,46 @@ func HandlerWithKey(l *Limiter, key func(*http.Request) string, next http.Handle
 			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
 			return
 		}
+		// The release must survive a panicking handler — a leaked slot
+		// under chaos would ratchet in-flight up until the limiter sheds
+		// everything forever — and the panic must become a 500 rather than
+		// killing the connection with no response. The recover runs before
+		// the deferred release (LIFO), so the slot is returned either way.
 		defer release()
-		next.ServeHTTP(w, r)
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				if !tw.wrote {
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("X-Content-Type-Options", "nosniff")
+					w.WriteHeader(http.StatusInternalServerError)
+					fmt.Fprintf(w, "{\"error\":%q}\n", fmt.Sprintf("handler panicked: %v", v))
+				}
+			}
+		}()
+		next.ServeHTTP(tw, r)
 	})
 }
+
+// trackingWriter records whether the handler started writing, so the panic
+// guard knows if a 500 can still be sent.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *trackingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // Sessions caps long-lived connections — streaming subscribers — where a
 // latency-based limiter is meaningless (the "request" lasts as long as the

@@ -1,0 +1,220 @@
+package limit
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// The limiter's n_avg is Equation 1 made operational: Σ_routes λ_r × W_r
+// with λ from an exponentially decayed admission counter and W from a
+// per-route latency EWMA. These property tests pin its algebra on random
+// workloads under a fake clock: the estimate must match the closed form,
+// must not depend on how concurrent admissions interleave, and must scale
+// the way Little's Law says it does. One completion per route keeps the
+// EWMA a plain sample — the EWMA is deliberately order-*dependent* within
+// a route, so cross-route interleaving is exactly the invariance the
+// estimator owes us.
+
+// fakeClock is a hand-cranked time source for deterministic limiter runs.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time        { return c.now }
+func (c *fakeClock) advanceTo(t time.Time) { c.now = t }
+func (c *fakeClock) add(d time.Duration)   { c.now = c.now.Add(d) }
+
+// op is one timed limiter action: admit on a route, or release a prior
+// admission.
+type op struct {
+	at      time.Time
+	route   string
+	release bool
+}
+
+// runWorkload replays timed ops against a fresh limiter and returns its
+// final n_avg at `end`. The ceiling is set high enough that nothing queues,
+// so the run exercises the estimator, not the gate.
+func runWorkload(t *testing.T, ops []op, end time.Time) float64 {
+	t.Helper()
+	clk := &fakeClock{now: ops[0].at}
+	l := New(Config{Ceiling: 1e9, RateHalfLife: 10 * time.Second, Now: clk.Now})
+	releases := map[string]func(){}
+	for _, o := range ops {
+		if o.at.Before(clk.now) {
+			t.Fatalf("ops out of order: %v before %v", o.at, clk.now)
+		}
+		clk.advanceTo(o.at)
+		if o.release {
+			releases[o.route]()
+			continue
+		}
+		rel, waited, err := l.Acquire(context.Background(), o.route)
+		if err != nil || waited {
+			t.Fatalf("acquire %s: err=%v waited=%v (ceiling should admit everything)", o.route, err, waited)
+		}
+		releases[o.route] = rel
+	}
+	clk.advanceTo(end)
+	snap := l.Snapshot()
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("workload left inflight=%d queue=%d", snap.InFlight, snap.QueueDepth)
+	}
+	return snap.NAvg
+}
+
+// TestNAvgMatchesClosedForm: with one admission and one completion per
+// route, the live estimate at time T has an exact closed form —
+//
+//	n_avg(T) = Σ_r e^{-(T − a_r)/τ} / τ × W_r
+//
+// (each route's decayed count is one admission aged from its admit time
+// a_r, and its EWMA is the single latency sample W_r). Random workloads
+// must match it to floating-point accuracy.
+func TestNAvgMatchesClosedForm(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	const halfLife = 10 * time.Second
+	tau := halfLife.Seconds() / math.Ln2
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		var ops []op
+		type span struct {
+			admit time.Time
+			lat   float64
+		}
+		spans := make(map[string]span, n)
+		for i := 0; i < n; i++ {
+			route := string(rune('a'+i%26)) + string(rune('0'+i/26))
+			admit := base.Add(time.Duration(rng.Int63n(int64(5 * time.Second))))
+			lat := time.Duration(1 + rng.Int63n(int64(2*time.Second)))
+			spans[route] = span{admit: admit, lat: lat.Seconds()}
+			ops = append(ops,
+				op{at: admit, route: route},
+				op{at: admit.Add(lat), route: route, release: true})
+		}
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].at.Before(ops[j].at) })
+		end := base.Add(8 * time.Second)
+		got := runWorkload(t, ops, end)
+		want := 0.0
+		for _, s := range spans {
+			want += math.Exp(-end.Sub(s.admit).Seconds()/tau) / tau * s.lat
+		}
+		if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, want) {
+			t.Fatalf("seed %d: n_avg = %g, closed form = %g (n=%d routes)", seed, got, want, n)
+		}
+	}
+}
+
+// TestNAvgInvariantUnderPermutedInterleavings: when several routes admit at
+// the same instant, the order in which their Acquire calls hit the limiter
+// is scheduler luck — the estimate must not depend on it. Same for
+// same-instant completions. Every permutation of the concurrent batch must
+// land on the identical n_avg.
+func TestNAvgInvariantUnderPermutedInterleavings(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	routes := []string{"analyze", "advise", "tune", "tables", "characterize"}
+	lats := []time.Duration{120 * time.Millisecond, 340 * time.Millisecond,
+		2 * time.Second, 55 * time.Millisecond, 900 * time.Millisecond}
+	end := base.Add(5 * time.Second)
+
+	build := func(admitOrder, releaseOrder []int) []op {
+		var ops []op
+		// All admissions at t=0, in the given order...
+		for _, i := range admitOrder {
+			ops = append(ops, op{at: base, route: routes[i]})
+		}
+		// ...then all completions at a common later instant, so release
+		// order is also permutable. Each route's latency is still its own:
+		// the limiter computes W from admit→release of *that* route... except
+		// a shared release instant would equalize them. So release each route
+		// at its own time; only equal-time pairs are permuted below.
+		for _, i := range releaseOrder {
+			ops = append(ops, op{at: base.Add(lats[i]), route: routes[i], release: true})
+		}
+		sort.SliceStable(ops, func(a, b int) bool { return ops[a].at.Before(ops[b].at) })
+		return ops
+	}
+
+	identity := []int{0, 1, 2, 3, 4}
+	want := runWorkload(t, build(identity, identity), end)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		admitOrder := rng.Perm(len(routes))
+		releaseOrder := rng.Perm(len(routes))
+		got := runWorkload(t, build(admitOrder, releaseOrder), end)
+		// Not exact equality: navgLocked sums over a Go map, whose random
+		// iteration order can shuffle float rounding by an ulp.
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("trial %d: admit order %v gave n_avg %g, identity gave %g",
+				trial, admitOrder, got, want)
+		}
+	}
+	if want <= 0 {
+		t.Fatalf("n_avg = %g, want positive for a busy window", want)
+	}
+}
+
+// TestNAvgScalesWithLatency: Little's Law is linear in W — doubling every
+// route's service latency (with admission times fixed) must exactly double
+// the estimate. A metamorphic check that needs no closed form at all.
+func TestNAvgScalesWithLatency(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	end := base.Add(6 * time.Second)
+	workload := func(scale time.Duration) []op {
+		var ops []op
+		for i, lat := range []time.Duration{100, 250, 700, 1300} {
+			route := string(rune('a' + i))
+			ops = append(ops,
+				op{at: base.Add(time.Duration(i) * 200 * time.Millisecond), route: route},
+				op{at: base.Add(time.Duration(i)*200*time.Millisecond + lat*scale), route: route, release: true})
+		}
+		sort.SliceStable(ops, func(a, b int) bool { return ops[a].at.Before(ops[b].at) })
+		return ops
+	}
+	one := runWorkload(t, workload(time.Millisecond), end)
+	two := runWorkload(t, workload(2*time.Millisecond), end)
+	if one <= 0 {
+		t.Fatalf("baseline n_avg = %g, want positive", one)
+	}
+	if ratio := two / one; math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("doubling all latencies scaled n_avg by %g, want exactly 2", ratio)
+	}
+}
+
+// TestNAvgDecaysToZero: once traffic stops, the memory term must decay
+// below any threshold within a bounded number of half-lives — the property
+// the recovery phase of the shed/recover e2e rests on.
+func TestNAvgDecaysToZero(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	clk := &fakeClock{now: base}
+	l := New(Config{Ceiling: 1e9, RateHalfLife: time.Second, Now: clk.Now})
+	for i := 0; i < 50; i++ {
+		rel, _, err := l.Acquire(context.Background(), "burst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.add(10 * time.Millisecond)
+		rel()
+	}
+	busy := l.Snapshot().NAvg
+	if busy <= 0 {
+		t.Fatalf("busy n_avg = %g, want positive", busy)
+	}
+	prev := busy
+	for i := 0; i < 30; i++ {
+		clk.add(time.Second)
+		cur := l.Snapshot().NAvg
+		if cur > prev+1e-12 {
+			t.Fatalf("n_avg rose from %g to %g with no traffic", prev, cur)
+		}
+		prev = cur
+	}
+	if prev != 0 {
+		// 30 half-lives beyond a 50-admission burst is ~5e-8 of the start;
+		// the evictBelow floor should have zeroed it entirely.
+		t.Fatalf("n_avg = %g after 30 idle half-lives, want exact 0 via eviction", prev)
+	}
+}

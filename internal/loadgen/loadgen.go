@@ -4,23 +4,32 @@
 // response before sending the next; throughput self-limits as latency
 // grows) and open-loop (arrivals at a fixed rate regardless of responses;
 // the discipline that actually exposes an overloaded server, because the
-// offered load does not politely back off). Both honor 429 + Retry-After
-// from the service's admission controller with client-side retry/backoff.
+// offered load does not politely back off). Open-loop arrivals can be
+// uniform (a metronome) or Poisson (seeded exponential interarrivals, the
+// M in M/M/1), and the whole run is reproducible from a single seed: the
+// arrival schedule and the retry jitter both derive from it, so two runs
+// with the same options replay the same offered load.
+//
+// Requests go through internal/client, so every arrival gets the resilient
+// treatment — per-attempt timeout, capped jittered backoff on 429/5xx, and
+// Retry-After honoring against the service's admission controller.
 //
 // cmd/llload wraps it as a CLI; the internal/limit end-to-end tests drive
 // it against httptest servers to prove the shed-then-recover behavior.
 package loadgen
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
+
+	"littleslaw/internal/client"
 )
 
 // Options configures one load run.
@@ -40,19 +49,25 @@ type Options struct {
 	// Rate is the open-loop arrival rate in requests/second (required in
 	// open mode).
 	Rate float64
+	// Arrivals is the open-loop discipline: "uniform" (default, evenly
+	// spaced) or "poisson" (seeded exponential interarrivals).
+	Arrivals string
 	// Duration bounds the run (default 1s). The context bounds it too.
 	Duration time.Duration
 	// MaxRequests optionally caps total arrivals (0 = unlimited).
 	MaxRequests int
-	// Retries is the per-request retry budget on 429 (default 0). Retries
-	// sleep for the server's Retry-After hint when present, Backoff
-	// otherwise.
+	// Retries is the per-arrival retry cap on 429/5xx/transport errors
+	// (default 0 = no retries). Retries honor Retry-After and otherwise
+	// back off exponentially with seeded jitter.
 	Retries int
 	// Backoff is the base retry sleep when the server sends no hint
 	// (default 100ms, doubling per attempt).
 	Backoff time.Duration
-	// Timeout is the per-request client timeout (default 10s).
+	// Timeout is the per-attempt client timeout (default 10s).
 	Timeout time.Duration
+	// Seed makes the run reproducible: it drives the Poisson arrival
+	// schedule and the retry jitter (0 = seeded from the clock).
+	Seed int64
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 }
@@ -78,6 +93,13 @@ func (o *Options) normalize() error {
 	default:
 		return fmt.Errorf("loadgen: mode must be closed or open, got %q", o.Mode)
 	}
+	switch o.Arrivals {
+	case "":
+		o.Arrivals = "uniform"
+	case "uniform", "poisson":
+	default:
+		return fmt.Errorf("loadgen: arrivals must be uniform or poisson, got %q", o.Arrivals)
+	}
 	if o.Concurrency <= 0 {
 		o.Concurrency = 1
 	}
@@ -96,10 +118,71 @@ func (o *Options) normalize() error {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Second
 	}
-	if o.Client == nil {
-		o.Client = &http.Client{}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
 	}
 	return nil
+}
+
+// splitURL separates a full target URL into the client's BaseURL and the
+// per-request path (with query).
+func splitURL(raw string) (base, path string, err error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", "", fmt.Errorf("loadgen: bad URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return "", "", fmt.Errorf("loadgen: URL needs scheme and host, got %q", raw)
+	}
+	base = u.Scheme + "://" + u.Host
+	path = u.Path
+	if path == "" {
+		path = "/"
+	}
+	if u.RawQuery != "" {
+		path += "?" + u.RawQuery
+	}
+	return base, path, nil
+}
+
+// Schedule returns the open-loop arrival offsets an open-mode Run with
+// these options will use: monotonically increasing offsets from the run's
+// start, within Duration, capped by MaxRequests. Uniform arrivals tick at
+// 1/Rate; Poisson arrivals draw exponential interarrivals from the seeded
+// RNG, so the same (Seed, Rate, Duration) always yields the same schedule —
+// that determinism is pinned by a regression test. Closed mode has no
+// arrival schedule (arrivals are response-driven) and returns nil.
+func Schedule(o Options) ([]time.Duration, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	if o.Mode != "open" {
+		return nil, nil
+	}
+	return schedule(&o), nil
+}
+
+func schedule(o *Options) []time.Duration {
+	// The arrival stream gets its own RNG, decoupled from retry jitter, so
+	// the schedule is a pure function of (Seed, Rate, Arrivals, Duration).
+	rng := rand.New(rand.NewSource(o.Seed))
+	mean := float64(time.Second) / o.Rate
+	var offs []time.Duration
+	at := 0.0
+	for {
+		if o.Arrivals == "poisson" {
+			at += rng.ExpFloat64() * mean
+		} else {
+			at += mean
+		}
+		if at >= float64(o.Duration) {
+			return offs
+		}
+		offs = append(offs, time.Duration(at))
+		if o.MaxRequests > 0 && len(offs) >= o.MaxRequests {
+			return offs
+		}
+	}
 }
 
 // Result aggregates one run. Counts are over arrivals (a request retried
@@ -110,9 +193,10 @@ type Result struct {
 	// outcomes (Shed = last attempt got 429; Failed = transport error or
 	// non-2xx/non-429).
 	Sent, OK, Shed, Failed int64
-	// Retries counts extra attempts after 429s.
+	// Retries counts extra attempts beyond each arrival's first.
 	Retries int64
-	// RetryAfterSeen counts 429 responses that carried a Retry-After hint.
+	// RetryAfterSeen counts retryable responses that carried a Retry-After
+	// hint.
 	RetryAfterSeen int64
 	// Elapsed is the wall time of the run.
 	Elapsed time.Duration
@@ -185,6 +269,25 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err := o.normalize(); err != nil {
 		return nil, err
 	}
+	base, path, err := splitURL(o.URL)
+	if err != nil {
+		return nil, err
+	}
+	// A load generator's job is to offer the configured load, so the retry
+	// budget is off: Options.Retries is the explicit, user-chosen cap.
+	cl, err := client.New(client.Config{
+		BaseURL:     base,
+		HTTPClient:  o.Client,
+		Timeout:     o.Timeout,
+		MaxAttempts: o.Retries + 1,
+		Backoff:     o.Backoff,
+		Seed:        o.Seed,
+		BudgetRatio: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{}
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, o.Duration)
@@ -215,30 +318,30 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for ctx.Err() == nil && take() {
-					attempt(ctx, &o, res)
+					arrival(ctx, cl, &o, path, res)
 				}
 			}()
 		}
 	} else {
-		interval := time.Duration(float64(time.Second) / o.Rate)
-		if interval <= 0 {
-			interval = time.Nanosecond
+		timer := time.NewTimer(0)
+		if !timer.Stop() {
+			<-timer.C
 		}
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		defer timer.Stop()
 	arrivals:
-		for {
+		for _, off := range schedule(&o) {
+			timer.Reset(time.Until(start.Add(off)))
 			select {
 			case <-ctx.Done():
 				break arrivals
-			case <-ticker.C:
+			case <-timer.C:
 				if !take() {
 					break arrivals
 				}
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					attempt(ctx, &o, res)
+					arrival(ctx, cl, &o, path, res)
 				}()
 			}
 		}
@@ -250,78 +353,31 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	return res, nil
 }
 
-// attempt issues one arrival, retrying 429s within the budget while the
-// context lives. In-flight requests use the per-request timeout, not the
-// run deadline, so arrivals near the end of the window still complete.
-func attempt(ctx context.Context, o *Options, res *Result) {
+// arrival issues one arrival through the resilient client and buckets the
+// outcome. The client owns retries (429/5xx/transport within the Retries
+// cap, Retry-After honored); in-flight attempts use the per-attempt
+// timeout rather than the run deadline, so arrivals near the end of the
+// window still complete — a context already dead mid-retry just surfaces
+// the last response.
+func arrival(ctx context.Context, cl *client.Client, o *Options, path string, res *Result) {
 	res.record(func(r *Result) { r.Sent++ }, 0)
-	backoff := o.Backoff
-	for try := 0; ; try++ {
-		status, hinted, hint, lat, err := once(o)
-		switch {
-		case err != nil:
-			res.record(func(r *Result) { r.Failed++ }, 0)
-			return
-		case status >= 200 && status < 300:
-			res.record(func(r *Result) { r.OK++ }, lat)
-			return
-		case status == http.StatusTooManyRequests:
-			if hinted {
-				res.record(func(r *Result) { r.RetryAfterSeen++ }, 0)
-			}
-			if try >= o.Retries || ctx.Err() != nil {
-				res.record(func(r *Result) { r.Shed++ }, 0)
-				return
-			}
-			sleep := backoff
-			if hinted {
-				sleep = hint
-			}
-			backoff *= 2
-			res.record(func(r *Result) { r.Retries++ }, 0)
-			select {
-			case <-ctx.Done():
-				res.record(func(r *Result) { r.Shed++ }, 0)
-				return
-			case <-time.After(sleep):
-			}
-		default:
-			res.record(func(r *Result) { r.Failed++ }, 0)
-			return
-		}
-	}
-}
-
-// once sends a single request and reports (status, retry-after present,
-// retry-after value, latency, transport error).
-func once(o *Options) (status int, hinted bool, hint time.Duration, lat time.Duration, err error) {
-	reqCtx, cancel := context.WithTimeout(context.Background(), o.Timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(reqCtx, o.Method, o.URL, bytes.NewReader(o.Body))
+	// Detach the attempt from the run deadline (the old behavior): the run
+	// context only gates new arrivals and retry sleeps.
+	cr, err := cl.Do(context.WithoutCancel(ctx), o.Method, path, o.ContentType, o.Body)
 	if err != nil {
-		return 0, false, 0, 0, err
+		res.record(func(r *Result) { r.Failed++ }, 0)
+		return
 	}
-	if len(o.Body) > 0 {
-		req.Header.Set("Content-Type", o.ContentType)
+	res.record(func(r *Result) {
+		r.Retries += int64(cr.Attempts - 1)
+		r.RetryAfterSeen += int64(cr.Hints)
+	}, 0)
+	switch {
+	case cr.Status >= 200 && cr.Status < 300:
+		res.record(func(r *Result) { r.OK++ }, cr.Latency)
+	case cr.Status == http.StatusTooManyRequests:
+		res.record(func(r *Result) { r.Shed++ }, 0)
+	default:
+		res.record(func(r *Result) { r.Failed++ }, 0)
 	}
-	begin := time.Now()
-	resp, err := o.Client.Do(req)
-	if err != nil {
-		return 0, false, 0, 0, err
-	}
-	// Drain so the connection is reusable.
-	buf := make([]byte, 512)
-	for {
-		if _, rerr := resp.Body.Read(buf); rerr != nil {
-			break
-		}
-	}
-	resp.Body.Close()
-	lat = time.Since(begin)
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
-			hinted, hint = true, time.Duration(secs)*time.Second
-		}
-	}
-	return resp.StatusCode, hinted, hint, lat, nil
 }

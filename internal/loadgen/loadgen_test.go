@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"littleslaw/internal/client"
 )
 
 func TestOptionValidation(t *testing.T) {
@@ -129,6 +131,14 @@ func TestStringConcurrentWithRecording(t *testing.T) {
 	if err := o.normalize(); err != nil {
 		t.Fatal(err)
 	}
+	base, path, err := splitURL(o.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.New(client.Config{BaseURL: base, Seed: o.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := &Result{}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -146,12 +156,133 @@ func TestStringConcurrentWithRecording(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 50; i++ {
-		attempt(context.Background(), &o, res)
+		arrival(context.Background(), cl, &o, path, res)
 	}
 	close(stop)
 	wg.Wait()
 	if res.Sent != 50 || res.OK != 50 {
 		t.Fatalf("res = %s, want 50 sent and ok", res)
+	}
+}
+
+// TestScheduleDeterministic is the reproducibility regression test: two
+// runs configured with the same seed must offer the exact same arrival
+// schedule, tick for tick, for both disciplines — otherwise "replay the
+// overload that broke it" is impossible.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, arrivals := range []string{"uniform", "poisson"} {
+		o := Options{
+			URL: "http://x", Mode: "open", Rate: 500,
+			Arrivals: arrivals, Duration: 2 * time.Second, Seed: 42,
+		}
+		a, err := Schedule(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Schedule(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty schedule", arrivals)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: same seed, different lengths: %d vs %d", arrivals, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at arrival %d: %s vs %s", arrivals, i, a[i], b[i])
+			}
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] <= a[i-1] {
+				t.Fatalf("%s: schedule not increasing at %d: %s then %s", arrivals, i-1, a[i-1], a[i])
+			}
+			if a[i] >= o.Duration {
+				t.Fatalf("%s: arrival %d at %s past duration %s", arrivals, i, a[i], o.Duration)
+			}
+		}
+	}
+}
+
+func TestScheduleSeedAndDisciplineMatter(t *testing.T) {
+	base := Options{URL: "http://x", Mode: "open", Rate: 500, Arrivals: "poisson", Duration: time.Second, Seed: 1}
+	a, _ := Schedule(base)
+	other := base
+	other.Seed = 2
+	b, _ := Schedule(other)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical Poisson schedules")
+		}
+	}
+	uni := base
+	uni.Arrivals = "uniform"
+	u, _ := Schedule(uni)
+	// Uniform arrivals tick at exactly 1/Rate regardless of seed.
+	if want := time.Duration(float64(time.Second) / base.Rate); u[0] != want || u[1] != 2*want {
+		t.Fatalf("uniform schedule starts %s, %s; want %s, %s", u[0], u[1], want, 2*want)
+	}
+}
+
+func TestScheduleRespectsMaxRequests(t *testing.T) {
+	o := Options{URL: "http://x", Mode: "open", Rate: 1000, Duration: time.Second, MaxRequests: 5, Seed: 7}
+	s, err := Schedule(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 5 {
+		t.Fatalf("schedule length = %d, want MaxRequests=5", len(s))
+	}
+	closed, err := Schedule(Options{URL: "http://x", Mode: "closed"})
+	if err != nil || closed != nil {
+		t.Fatalf("closed mode schedule = %v, %v; want nil, nil", closed, err)
+	}
+}
+
+func TestSameSeedRunsOfferIdenticalLoad(t *testing.T) {
+	run := func() ([]time.Duration, int64) {
+		var mu sync.Mutex
+		var stamps []time.Duration
+		start := time.Now()
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			stamps = append(stamps, time.Since(start))
+			mu.Unlock()
+		}))
+		defer ts.Close()
+		res, err := Run(context.Background(), Options{
+			URL: ts.URL, Mode: "open", Rate: 100, Arrivals: "poisson",
+			Duration: 300 * time.Millisecond, Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stamps, res.Sent
+	}
+	_, sentA := run()
+	_, sentB := run()
+	// Wall-clock jitter moves individual request times, but the schedule —
+	// and therefore the arrival count — is identical run to run.
+	if sentA != sentB {
+		t.Fatalf("same-seed runs sent %d vs %d arrivals", sentA, sentB)
+	}
+	want, err := Schedule(Options{
+		URL: "http://x", Mode: "open", Rate: 100, Arrivals: "poisson",
+		Duration: 300 * time.Millisecond, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(want)) != sentA {
+		t.Fatalf("runs sent %d arrivals but Schedule promises %d", sentA, len(want))
 	}
 }
 

@@ -1,0 +1,185 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"littleslaw/internal/events"
+)
+
+// The property tests pin the package's algebra on randomized workloads
+// instead of hand-picked examples: Little's Law is an *identity* on a
+// drained observation window, the Equation-2 occupancy is monotone in
+// bandwidth because the curve is monotone, and the closed-system solver
+// must land on a genuine fixed point. Seeds are fixed so a failure replays.
+
+// TestLittleIdentityOnDrainedWindow: for any workload in which every
+// arrival departs inside the observation window, the time-weighted mean
+// occupancy equals arrivals/window × mean residence exactly — Little's Law
+// is not an approximation there, it is accounting. The residual must sit
+// at floating-point noise for arbitrary random workloads.
+func TestLittleIdentityOnDrainedWindow(t *testing.T) {
+	type span struct{ arrive, depart events.Time }
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		spans := make([]span, n)
+		for i := range spans {
+			a := events.Time(rng.Int63n(1_000_000))
+			d := a + 1 + events.Time(rng.Int63n(1_000_000))
+			spans[i] = span{a, d}
+		}
+		// Realize the event sequence chronologically.
+		type ev struct {
+			at      events.Time
+			arrive  bool
+			residno events.Duration
+		}
+		var evs []ev
+		for _, s := range spans {
+			evs = append(evs, ev{at: s.arrive, arrive: true})
+			evs = append(evs, ev{at: s.depart, residno: events.Duration(s.depart - s.arrive)})
+		}
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].at != evs[j].at {
+				return evs[i].at < evs[j].at
+			}
+			// Arrivals before departures at the same instant so occupancy
+			// never goes negative when a departure shares a timestamp.
+			return evs[i].arrive && !evs[j].arrive
+		})
+		var o OccupancyStat
+		o.Reset(0)
+		for _, e := range evs {
+			if e.arrive {
+				o.Arrive(e.at)
+			} else {
+				o.Depart(e.at, e.residno)
+			}
+		}
+		end := evs[len(evs)-1].at + 1
+		if o.Current() != 0 {
+			t.Fatalf("seed %d: %d items still resident after all departures", seed, o.Current())
+		}
+		if res := o.LittleResidual(end); res > 1e-9 {
+			t.Fatalf("seed %d: drained window has Little residual %g, want ~0 (n=%d)", seed, res, n)
+		}
+	}
+}
+
+// TestLittleResidualDetectsBrokenAccounting: the residual is a real check,
+// not a tautology — lying about residence times must show up.
+func TestLittleResidualDetectsBrokenAccounting(t *testing.T) {
+	var o OccupancyStat
+	o.Reset(0)
+	o.Arrive(0)
+	o.Depart(1000, 2000) // claims twice its actual residence
+	if res := o.LittleResidual(1000); res < 0.4 {
+		t.Fatalf("inflated residence gave residual %g, want ~0.5", res)
+	}
+}
+
+// TestOccupancyAtMonotone: n_avg = BW × lat(BW) / line is the product of an
+// increasing and a non-decreasing non-negative function, so for every valid
+// curve — including random ones with duplicate bandwidths and jittered
+// latencies that NewCurve must repair — occupancy is non-decreasing in
+// bandwidth. This is the property the monitor's "more load never reads as
+// less pressure" behavior rests on.
+func TestOccupancyAtMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		pts := make([]CurvePoint, n)
+		for i := range pts {
+			pts[i] = CurvePoint{
+				BandwidthGBs: rng.Float64() * 200,
+				LatencyNs:    10 + rng.Float64()*500,
+			}
+		}
+		c, err := NewCurve(pts)
+		if err != nil {
+			t.Fatalf("seed %d: NewCurve: %v", seed, err)
+		}
+		prevBW, prevN := 0.0, 0.0
+		for q := 0; q < 200; q++ {
+			bw := prevBW + rng.Float64()*2
+			got := c.OccupancyAt(bw, 64)
+			if got < prevN-1e-12 {
+				t.Fatalf("seed %d: occupancy fell from %g to %g as bandwidth rose from %g to %g",
+					seed, prevN, got, prevBW, bw)
+			}
+			prevBW, prevN = bw, got
+		}
+	}
+}
+
+// TestCurveLatencyWithinSampledRange: interpolation and saturation clamping
+// can never produce a latency outside the repaired samples' range.
+func TestCurveLatencyWithinSampledRange(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]CurvePoint, 1+rng.Intn(12))
+		for i := range pts {
+			pts[i] = CurvePoint{BandwidthGBs: rng.Float64() * 100, LatencyNs: 1 + rng.Float64()*300}
+		}
+		c, err := NewCurve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := c.Points()
+		lo, hi := rep[0].LatencyNs, rep[len(rep)-1].LatencyNs
+		for q := 0; q < 200; q++ {
+			bw := rng.Float64() * 150 // deliberately past the sampled peak
+			if lat := c.LatencyAt(bw); lat < lo || lat > hi {
+				t.Fatalf("seed %d: LatencyAt(%g) = %g outside [%g, %g]", seed, bw, lat, lo, hi)
+			}
+		}
+	}
+}
+
+// TestEquationTwoRoundTrip: ConcurrencyFromBandwidth and
+// BandwidthFromConcurrency are exact inverses at any operating point.
+func TestEquationTwoRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		bw := rng.Float64() * 400e9
+		lat := (1 + rng.Float64()*500) * 1e-9
+		n := ConcurrencyFromBandwidth(bw, lat, 64)
+		back := BandwidthFromConcurrency(n, lat, 64)
+		if diff := math.Abs(back - bw); diff > 1e-6*math.Max(1, bw) {
+			t.Fatalf("round trip: %g GB/s → n=%g → %g GB/s", bw/1e9, n, back/1e9)
+		}
+	}
+}
+
+// TestSolveEquilibriumIsFixedPoint: the solver's operating point must
+// satisfy its own equation, BW = n × line / lat(BW), for random curves and
+// random populations — and more circulating requests can never yield less
+// bandwidth.
+func TestSolveEquilibriumIsFixedPoint(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]CurvePoint, 2+rng.Intn(10))
+		for i := range pts {
+			pts[i] = CurvePoint{BandwidthGBs: rng.Float64() * 150, LatencyNs: 20 + rng.Float64()*400}
+		}
+		c, err := NewCurve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevBW := 0.0
+		for _, n := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64} {
+			bw, lat := c.SolveEquilibrium(n, 64)
+			demand := n * 64 / (lat * 1e-9) / 1e9 // GB/s implied by n at this latency
+			if diff := math.Abs(demand - bw); diff > 1e-6*math.Max(1, bw) {
+				t.Fatalf("seed %d n=%g: solver returned BW=%g but the equation wants %g", seed, n, bw, demand)
+			}
+			if bw < prevBW-1e-9 {
+				t.Fatalf("seed %d: equilibrium bandwidth fell from %g to %g as n rose", seed, prevBW, bw)
+			}
+			prevBW = bw
+		}
+	}
+}

@@ -24,10 +24,17 @@ import (
 	"time"
 
 	"littleslaw/internal/engine"
+	"littleslaw/internal/faults"
 	"littleslaw/internal/metrics"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/sim"
 )
+
+// FaultSite is the fault-injection point on the run spine: evaluated once
+// per simulation execution (cache hits never reach it). It honors latency
+// and error faults; an injected error on a cached flight is the "poisoned
+// entry" case, which Run degrades around by re-executing directly.
+const FaultSite = "runner.run"
 
 // Key is the canonical identity of a cacheable simulation: the normalized
 // scalar configuration, the full platform parameterization (ablations
@@ -96,7 +103,10 @@ type Stats struct {
 	Hits     uint64 // served from cache or by joining an in-flight run
 	Misses   uint64 // executed (and cached) on behalf of the caller
 	Bypasses uint64 // uncacheable configs executed directly
-	InFlight int64  // simulations executing right now
+	// Fallbacks counts cache entries poisoned by an injected fault that
+	// were degraded to a direct re-execution.
+	Fallbacks uint64
+	InFlight  int64 // simulations executing right now
 	// Occupancy is the Little's-Law average number of simulations in
 	// flight since the Runner was built: busy_seconds / uptime.
 	Occupancy float64
@@ -108,12 +118,13 @@ type Stats struct {
 type Runner struct {
 	cache *engine.LRU[Key, *sim.Result]
 
-	hits     metrics.Counter
-	misses   metrics.Counter
-	bypasses metrics.Counter
-	inflight metrics.Gauge
-	busyNs   atomic.Int64
-	start    time.Time
+	hits      metrics.Counter
+	misses    metrics.Counter
+	bypasses  metrics.Counter
+	fallbacks metrics.Counter
+	inflight  metrics.Gauge
+	busyNs    atomic.Int64
+	start     time.Time
 }
 
 // New builds a Runner retaining at most capacity completed results
@@ -160,6 +171,15 @@ func (r *Runner) Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 		return r.execute(ctx, norm)
 	})
 	if err != nil {
+		// Graceful degradation: a flight that failed because the fault
+		// layer poisoned it (not because the config is bad or the context
+		// expired) is retried as a direct, uncached run rather than
+		// surfacing chaos to the caller. The failed flight was already
+		// forgotten by the cache, so nothing stale lingers either way.
+		if faults.IsFault(err) && ctx.Err() == nil {
+			r.fallbacks.Inc()
+			return r.execute(ctx, norm)
+		}
 		return nil, err
 	}
 	if hit {
@@ -177,6 +197,12 @@ func (r *Runner) execute(ctx context.Context, cfg sim.Config) (*sim.Result, erro
 		r.busyNs.Add(time.Since(begin).Nanoseconds())
 		r.inflight.Dec()
 	}()
+	switch f := faults.Global().Eval(FaultSite); f.Kind {
+	case faults.KindLatency:
+		f.Sleep(ctx)
+	case faults.KindError:
+		return nil, f.Err()
+	}
 	return sim.RunContext(ctx, cfg)
 }
 
@@ -197,6 +223,7 @@ func (r *Runner) Stats() Stats {
 		Hits:      r.hits.Value(),
 		Misses:    r.misses.Value(),
 		Bypasses:  r.bypasses.Value(),
+		Fallbacks: r.fallbacks.Value(),
 		InFlight:  r.inflight.Value(),
 		Occupancy: r.occupancy(),
 	}
@@ -222,6 +249,9 @@ func (r *Runner) Register(reg *metrics.Registry, prefix string) {
 	reg.DerivedCounter(prefix+"_cache_bypass_total",
 		"Uncacheable simulations executed directly (no fingerprint or hierarchy hook).",
 		r.bypasses.Value)
+	reg.DerivedCounter(prefix+"_fault_fallbacks_total",
+		"Cached flights poisoned by an injected fault and degraded to a direct re-execution.",
+		r.fallbacks.Value)
 	reg.Derived(prefix+"_inflight",
 		"Simulations executing right now (directly sampled).",
 		func() float64 { return float64(r.inflight.Value()) })

@@ -28,6 +28,7 @@ import (
 	"littleslaw/internal/core"
 	"littleslaw/internal/engine"
 	"littleslaw/internal/experiments"
+	"littleslaw/internal/faults"
 	"littleslaw/internal/limit"
 	"littleslaw/internal/metrics"
 	"littleslaw/internal/platform"
@@ -88,6 +89,12 @@ type Config struct {
 	// hold a connection without imposing a whole-response deadline that
 	// would kill long-lived /v1/watch streams.
 	WriteTimeout time.Duration
+
+	// FaultInjector is the fault layer the per-handler sites and the
+	// /v1/faults admin endpoint operate on (nil = faults.Global(), the
+	// injector the rest of the stack — runner, engine, limiter, stream —
+	// evaluates; tests may isolate themselves with their own).
+	FaultInjector *faults.Injector
 }
 
 func (c *Config) normalize() {
@@ -121,6 +128,9 @@ func (c *Config) normalize() {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = time.Minute
 	}
+	if c.FaultInjector == nil {
+		c.FaultInjector = faults.Global()
+	}
 }
 
 // tableKey identifies one cached table regeneration.
@@ -141,6 +151,7 @@ type Server struct {
 
 	limiter  *limit.Limiter
 	sessions *limit.Sessions
+	faults   *faults.Injector
 
 	requests    *metrics.CounterVec
 	latency     *metrics.HistogramVec
@@ -168,6 +179,7 @@ func New(cfg Config) *Server {
 		tables:   engine.NewLRU[tableKey, *experiments.Table](cfg.TableCacheSize),
 		runners:  engine.NewLRU[float64, *experiments.Runner](cfg.RunnerCacheSize),
 		watches:  map[string]*stream.Broker{},
+		faults:   cfg.FaultInjector,
 	}
 	if cfg.LimitCeiling > 0 {
 		s.limiter = limit.New(limit.Config{
@@ -224,6 +236,17 @@ func New(cfg Config) *Server {
 	// table / tune request bottoms out in runner.Default(), so its cache
 	// and occupancy telemetry belong on the service's scrape page.
 	runner.Default().Register(s.reg, "llserved_runner")
+	s.reg.Derived("llserved_faults_enabled",
+		"1 when the fault-injection layer is evaluating rules, 0 when it is a no-op.",
+		func() float64 {
+			if s.faults.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.DerivedCounter("llserved_faults_injected_total",
+		"Faults fired across every instrumented site since the injector was configured.",
+		s.faults.FiredTotal)
 	if s.sessions != nil {
 		s.reg.Derived("llserved_stream_clients",
 			"Live /v1/watch connections counted against the subscriber cap.",
@@ -245,6 +268,11 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/tables/{id}", s.instrument("tables", s.handleTable))
 	s.mux.Handle("POST /v1/watch", s.instrumentStream("watch", s.handleWatch))
 	s.mux.Handle("GET /v1/watch/{stream}", s.instrumentStream("watch_subscribe", s.handleWatchSubscribe))
+	// The faults admin endpoints sit outside the admission controller on
+	// purpose: during a chaos run the limiter may be shedding everything,
+	// and the kill switch must still answer.
+	s.mux.Handle("GET /v1/faults", http.HandlerFunc(s.handleFaultsGet))
+	s.mux.Handle("POST /v1/faults", http.HandlerFunc(s.handleFaultsPost))
 	return s
 }
 
@@ -349,7 +377,7 @@ func (s *Server) envelope(name string, fn func(w http.ResponseWriter, r *http.Re
 		defer release()
 
 		sw := &statusWriter{ResponseWriter: w}
-		if err := fn(sw, r); err != nil {
+		if err := s.protect(name, sw, r, fn); err != nil {
 			if sw.status != 0 {
 				// The handler already started writing; nothing to salvage.
 				s.finish(name, start, sw.status)
@@ -364,6 +392,31 @@ func (s *Server) envelope(name string, fn func(w http.ResponseWriter, r *http.Re
 		}
 		s.finish(name, start, status)
 	})
+}
+
+// protect runs the handler body behind the per-handler fault site and a
+// panic-to-500 guard. A panicking handler (injected or real) must produce
+// a response and release its admission slot — the deferred release in
+// envelope runs on unwind either way, but without the recover here the
+// panic would reach net/http, which kills the connection responseless and
+// skips the request metrics.
+func (s *Server) protect(name string, sw *statusWriter, r *http.Request, fn func(http.ResponseWriter, *http.Request) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = failWith(http.StatusInternalServerError, fmt.Errorf("handler panicked: %v", v))
+		}
+	}()
+	switch f := s.faults.Eval("handler." + name); f.Kind {
+	case faults.KindLatency:
+		f.Sleep(r.Context())
+	case faults.KindError:
+		// A transient dependency failure: 503 with a short Retry-After,
+		// the shape a resilient client retries.
+		return failWithRetry(http.StatusServiceUnavailable, f.Err(), time.Second)
+	case faults.KindPanic:
+		panic(f.PanicValue())
+	}
+	return fn(sw, r)
 }
 
 func (s *Server) finish(name string, start time.Time, status int) {

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"littleslaw/internal/faults"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/stream"
 	"littleslaw/internal/workloads"
@@ -290,14 +291,19 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) error {
 			br.Publish(ev)
 			return nil
 		})
+		if err != nil {
+			// Graceful degradation: a monitor that dies mid-stream (an
+			// injected fault, an expired context) publishes a terminal
+			// error event before the broker closes, so every subscriber —
+			// including late ones replaying history — learns why the
+			// stream ended instead of seeing a silent truncation.
+			br.Publish(stream.Event{Kind: "error", Error: &stream.ErrorEvent{Message: err.Error()}})
+		}
 		done <- err
 	}()
 	if err := s.serveStream(w, r, label, br); err != nil {
 		return err
 	}
-	// The config was validated and replays ran up front, so the only
-	// monitor errors left are context expiry — already reflected in the
-	// truncated stream.
 	<-done
 	return nil
 }
@@ -357,6 +363,12 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, label strin
 			// the stream — a healthy subscriber can stay for hours while a
 			// stalled one is cut WriteTimeout after its last drained write.
 			s.armWrite(w)
+			// The stream-serving fault site: a drip fault delays each event
+			// write (a client on a congested link); bounded by the same
+			// per-write deadline as a genuinely slow peer.
+			if f := s.faults.Eval("stream.serve"); f.Kind == faults.KindDrip || f.Kind == faults.KindLatency {
+				f.Sleep(r.Context())
+			}
 			if sse {
 				data, err := json.Marshal(ev)
 				if err != nil {

@@ -24,9 +24,16 @@ import (
 	"io"
 
 	"littleslaw/internal/core"
+	"littleslaw/internal/faults"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/queueing"
 )
+
+// FaultSite is the monitor pipeline's fault-injection point, evaluated
+// once per consumed sample. It honors latency (a stalled counter source)
+// and error (a dying source — the path that exercises terminal error
+// events downstream).
+const FaultSite = "stream.monitor"
 
 // Sample is one timestamped bandwidth observation from a counter source.
 type Sample struct {
@@ -39,15 +46,24 @@ type Sample struct {
 	PrefetchedReadFraction float64 `json:"prefetched_read_fraction,omitempty"`
 }
 
-// Event is one monitor output: exactly one of Window, Phase or Summary is
-// set, discriminated by Kind ("window", "phase", "summary"). Seq is the
-// position in the stream, assigned by the Broker.
+// Event is one monitor output: exactly one of Window, Phase, Summary or
+// Error is set, discriminated by Kind ("window", "phase", "summary",
+// "error"). Seq is the position in the stream, assigned by the Broker.
 type Event struct {
 	Kind    string        `json:"kind"`
 	Seq     int           `json:"seq"`
 	Window  *WindowEvent  `json:"window,omitempty"`
 	Phase   *PhaseEvent   `json:"phase,omitempty"`
 	Summary *SummaryEvent `json:"summary,omitempty"`
+	Error   *ErrorEvent   `json:"error,omitempty"`
+}
+
+// ErrorEvent is the terminal event a stream publishes when its monitor
+// dies mid-stream (a fault, a failed replay, an expired context): the
+// graceful-degradation contract that a subscriber always learns why a
+// stream ended instead of watching a silently truncated sequence.
+type ErrorEvent struct {
+	Message string `json:"message"`
 }
 
 // WindowEvent is the Little's-Law report for one sliding window.
@@ -263,6 +279,12 @@ func Monitor(ctx context.Context, src Source, cfg Config, emit func(Event) error
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		switch f := faults.Global().Eval(FaultSite); f.Kind {
+		case faults.KindLatency:
+			f.Sleep(ctx)
+		case faults.KindError:
+			return nil, f.Err()
 		}
 		s, err := src.Next(ctx)
 		if errors.Is(err, io.EOF) {
