@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/
+RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/ ./internal/cluster/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest
+.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest cluster-demo
 
 all: check
 
@@ -37,7 +37,7 @@ CHAOS_COUNT ?= 1
 test-chaos:
 	$(GO) test -race -count $(CHAOS_COUNT) -timeout 15m \
 		-run 'TestChaos|TestFaultsDisabledIsNoOp|TestHandlerPanic' \
-		./internal/service/ ./internal/limit/
+		./internal/service/ ./internal/limit/ ./internal/cluster/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -94,6 +94,39 @@ loadtest:
 		-body '{"platform":"SKL","workload":"ISx","scale":0.02}'; \
 	code=$$?; \
 	curl -sf http://$(LOADTEST_ADDR)/metrics | grep '^llserved_limiter' || true; \
+	exit $$code
+
+# cluster-demo boots the scale-out tier end to end: three llserved backends
+# behind llproxy, driven closed-loop through the proxy (one analysis identity,
+# so affinity pins it all to its ring owner — visible in the per-backend
+# metrics), then a direct multi-target round-robin pass for contrast, and
+# finally the proxy's per-backend view from /metrics. Like loadtest, binaries
+# are real builds so the kills land on real processes.
+CLUSTER_PORT ?= 8140
+CLUSTER_DURATION ?= 5s
+
+cluster-demo:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./cmd/llserved ./cmd/llproxy ./cmd/llload || { rm -rf $$tmp; exit 1; }; \
+	pids=""; \
+	for i in 1 2 3; do \
+		$$tmp/llserved -addr 127.0.0.1:$$(( $(CLUSTER_PORT) + i )) -paper-profiles & \
+		pids="$$pids $$!"; \
+	done; \
+	$$tmp/llproxy -addr 127.0.0.1:$(CLUSTER_PORT) \
+		-backends http://127.0.0.1:$$(( $(CLUSTER_PORT) + 1 )),http://127.0.0.1:$$(( $(CLUSTER_PORT) + 2 )),http://127.0.0.1:$$(( $(CLUSTER_PORT) + 3 )) & \
+	pids="$$pids $$!"; \
+	trap 'kill '"$$pids"' 2>/dev/null; wait '"$$pids"' 2>/dev/null; rm -rf '"$$tmp" EXIT; \
+	sleep 1; \
+	echo "== through llproxy (affinity routing) =="; \
+	$$tmp/llload -url http://127.0.0.1:$(CLUSTER_PORT)/v1/analyze -c 8 -duration $(CLUSTER_DURATION) \
+		-body '{"platform":"KNL","workload":"ISx","scale":0.02}'; \
+	code=$$?; \
+	echo "== direct to the fleet (llload -targets round-robin) =="; \
+	$$tmp/llload -targets http://127.0.0.1:$$(( $(CLUSTER_PORT) + 1 ))/v1/analyze,http://127.0.0.1:$$(( $(CLUSTER_PORT) + 2 ))/v1/analyze,http://127.0.0.1:$$(( $(CLUSTER_PORT) + 3 ))/v1/analyze \
+		-c 8 -duration $(CLUSTER_DURATION) -body '{"platform":"KNL","workload":"ISx","scale":0.02}'; \
+	echo "== llproxy per-backend view =="; \
+	curl -sf http://127.0.0.1:$(CLUSTER_PORT)/metrics | grep -E '^llproxy_(backend|requests|affinity|hedges|failovers)' || true; \
 	exit $$code
 
 # check is the tier-1 gate plus the race and chaos jobs.

@@ -13,6 +13,8 @@
 //	llload -url ... -mode closed -c 16 -duration 10s        # closed loop, 16 clients
 //	llload -url ... -retries 3                              # retry 429/5xx, honoring Retry-After
 //	llload -url ... -mode open -arrivals poisson -seed 42   # reproducible Poisson arrivals
+//	llload -targets http://a:8181/v1/analyze,http://b:8182/v1/analyze -body ...
+//	                                                        # round-robin a fleet, per-target breakdown
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,8 +31,25 @@ import (
 	"littleslaw/internal/loadgen"
 )
 
+// targetList collects -targets values: the flag is repeatable and each
+// occurrence may carry a comma-separated list.
+type targetList []string
+
+func (t *targetList) String() string { return strings.Join(*t, ",") }
+
+func (t *targetList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*t = append(*t, s)
+		}
+	}
+	return nil
+}
+
 func main() {
-	url := flag.String("url", "", "target URL (required)")
+	url := flag.String("url", "", "target URL (required unless -targets is given)")
+	var targets targetList
+	flag.Var(&targets, "targets", "comma-separated target URLs to round-robin (repeatable); prints a per-target breakdown")
 	method := flag.String("method", "", "HTTP method (default POST with -body, GET without)")
 	body := flag.String("body", "", "request body sent with every request")
 	bodyFile := flag.String("body-file", "", "read the request body from a file")
@@ -49,8 +69,8 @@ func main() {
 		buildinfo.Print(os.Stdout, "llload")
 		return
 	}
-	if *url == "" {
-		fail(fmt.Errorf("-url is required"))
+	if *url == "" && len(targets) == 0 {
+		fail(fmt.Errorf("-url or -targets is required"))
 	}
 	payload := []byte(*body)
 	if *bodyFile != "" {
@@ -67,7 +87,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("llload: %s %s  mode=%s", methodFor(*method, payload), *url, *mode)
+	where := *url
+	if len(targets) > 0 {
+		where = fmt.Sprintf("%d targets", len(targets))
+		if len(targets) == 1 {
+			where = targets[0]
+		}
+	}
+	fmt.Printf("llload: %s %s  mode=%s", methodFor(*method, payload), where, *mode)
 	if *mode == "open" {
 		fmt.Printf(" rate=%g/s arrivals=%s", *rate, *arrivals)
 	} else {
@@ -81,6 +108,7 @@ func main() {
 
 	res, err := loadgen.Run(ctx, loadgen.Options{
 		URL:         *url,
+		Targets:     targets,
 		Method:      *method,
 		Body:        payload,
 		ContentType: *contentType,
@@ -98,6 +126,11 @@ func main() {
 		fail(err)
 	}
 	fmt.Println("llload:", res)
+	if per := res.PerTarget(); len(per) > 1 {
+		for _, tc := range per {
+			fmt.Println("llload:   ", tc)
+		}
+	}
 	if res.RetryAfterSeen > 0 {
 		fmt.Printf("llload: %d sheds carried Retry-After hints\n", res.RetryAfterSeen)
 	}

@@ -1,0 +1,137 @@
+// Command llproxy is the Little's-Law-aware scale-out tier: a reverse
+// proxy sharding /v1/* across llserved backends. Requests route by cache
+// affinity — a consistent hash of the canonical analysis identity, so
+// identical work revisits the backend whose runner LRU already holds the
+// result — and spill to the least-loaded backend (by live per-backend
+// n_avg = λ·W estimates) when the affinity owner is over the occupancy
+// ceiling. Backends are health-checked via /healthz behind per-backend
+// circuit breakers; idempotent GETs are hedged.
+//
+// Usage:
+//
+//	llproxy -backends http://h1:8080,http://h2:8080,http://h3:8080
+//	llproxy -addr :8000 -occupancy-ceiling 16    # spill earlier
+//	llproxy -hedge-delay 100ms                   # hedge GETs sooner (negative disables)
+//	llproxy -probe-interval 1s                   # faster failure detection
+//	llproxy -faults 'seed=1;cluster.forward=latency:0.1:50ms'
+//
+// Endpoints mirror llserved's /v1/* surface, plus:
+//
+//	GET /healthz    per-backend breaker state, health and occupancy estimates
+//	GET /metrics    llproxy_* per-backend metrics (requests, breaker state,
+//	                estimated and reported n_avg, hedges, failovers)
+//
+// /v1/faults fans out to every backend so one call arms or disarms chaos
+// across the fleet. Shutdown is graceful: SIGINT/SIGTERM stop the listener
+// and wait for in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"littleslaw/internal/buildinfo"
+	"littleslaw/internal/cluster"
+	"littleslaw/internal/faults"
+)
+
+func main() {
+	addr := flag.String("addr", ":8000", "listen address")
+	backends := flag.String("backends", "", "comma-separated llserved base URLs (required)")
+	ceiling := flag.Float64("occupancy-ceiling", 32, "estimated per-backend n_avg above which affinity is overridden and requests spill to the least-loaded backend")
+	halfLife := flag.Duration("rate-halflife", 10*time.Second, "arrival-rate estimator half-life")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "background /healthz probe spacing (negative disables probing)")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe deadline")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive transport failures that open a backend's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker rejects before a half-open trial")
+	hedgeDelay := flag.Duration("hedge-delay", 250*time.Millisecond, "how long an idempotent GET waits before racing a second backend (negative disables hedging)")
+	clientTimeout := flag.Duration("client-timeout", 10*time.Second, "per-forwarded-attempt deadline")
+	clientAttempts := flag.Int("client-attempts", 2, "attempts per forwarded request before failing over to another backend")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server read timeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	faultSpec := flag.String("faults", "", "fault-injection spec for the proxy's own sites, e.g. 'seed=1;cluster.forward=error:0.1'")
+	seed := flag.Int64("seed", 0, "deterministic backoff jitter seed (0 = from the clock)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "llproxy")
+		return
+	}
+	if *backends == "" {
+		log.Fatalf("llproxy: -backends is required (comma-separated llserved URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if *faultSpec != "" {
+		fseed, rules, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("llproxy: -faults: %v", err)
+		}
+		if err := faults.Global().Configure(fseed, rules); err != nil {
+			log.Fatalf("llproxy: -faults: %v", err)
+		}
+		log.Printf("llproxy: fault injection armed (%s)", faults.FormatSpec(fseed, rules))
+	}
+
+	p, err := cluster.New(cluster.Config{
+		Backends:          urls,
+		OccupancyCeiling:  *ceiling,
+		RateHalfLife:      *halfLife,
+		ProbeInterval:     *probeInterval,
+		ProbeTimeout:      *probeTimeout,
+		BreakerFailures:   *breakerFailures,
+		BreakerCooldown:   *breakerCooldown,
+		HedgeDelay:        *hedgeDelay,
+		ClientTimeout:     *clientTimeout,
+		ClientMaxAttempts: *clientAttempts,
+		Seed:              *seed,
+	})
+	if err != nil {
+		log.Fatalf("llproxy: %v", err)
+	}
+	p.Start()
+	defer p.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// No http.Server WriteTimeout: proxied /v1/watch streams are long-lived.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("llproxy: listening on %s, sharding across %s", *addr, strings.Join(p.Backends(), ", "))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("llproxy: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("llproxy: shutting down (waiting up to %s for in-flight requests)", *shutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("llproxy: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("llproxy: bye")
+}

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"littleslaw/internal/faults"
 )
 
 func newTestClient(t *testing.T, url string, mut func(*Config)) *Client {
@@ -339,6 +342,90 @@ func TestStreamCallbackErrorAborts(t *testing.T) {
 	err := c.Stream(context.Background(), "/v1/watch/x", func([]byte) error { return sentinel })
 	if err != sentinel {
 		t.Fatalf("Stream = %v, want the callback's error verbatim", err)
+	}
+}
+
+// TestStreamReconnectDedupesUnderDrip is the end-to-end proof of the
+// reconnect contract Stream documents: a broker-style server replays its
+// whole event buffer (seq 0..9) on every connection, dripping chunks
+// through an injected per-chunk delay, and kills the first two connections
+// mid-stream at different depths. A tailer that reconnects and filters on
+// seq — the cmd/llwatch discipline — must still deliver every event
+// exactly once, in order, despite each reconnect re-offering events it
+// already consumed.
+func TestStreamReconnectDedupesUnderDrip(t *testing.T) {
+	inj, err := faults.New(7, faults.Rule{
+		Site: "test.stream.drip", Kind: faults.KindDrip, P: 1, D: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	const events = 10
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn := conns.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl := w.(http.Flusher)
+		f := inj.Eval("test.stream.drip")
+		// Connection 1 dies after 4 events, connection 2 after 6: each
+		// reconnect makes progress but re-serves everything before the cut.
+		cut := events
+		if conn <= 2 {
+			cut = 4 + 2*int(conn-1)
+		}
+		for seq := 0; seq < events; seq++ {
+			if seq == cut {
+				panic(http.ErrAbortHandler) // injected mid-stream connection loss
+			}
+			f.Sleep(r.Context())
+			fmt.Fprintf(w, `{"seq":%d}`+"\n", seq)
+			fl.Flush()
+		}
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, nil)
+	lastSeq, reconnects := -1, 0
+	var got []int
+	for {
+		err := c.Stream(context.Background(), "/v1/watch/x", func(line []byte) error {
+			var ev struct {
+				Seq int `json:"seq"`
+			}
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return err
+			}
+			if ev.Seq <= lastSeq {
+				return nil // replayed duplicate
+			}
+			lastSeq = ev.Seq
+			got = append(got, ev.Seq)
+			return nil
+		})
+		if err == nil {
+			break // clean EOF: the buffer drained
+		}
+		if reconnects++; reconnects > 5 {
+			t.Fatalf("still failing after %d reconnects: %v (got %v)", reconnects, err, got)
+		}
+	}
+
+	if len(got) != events {
+		t.Fatalf("delivered %d events %v, want %d exactly-once", len(got), got, events)
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("delivery out of order or duplicated at %d: %v", i, got)
+		}
+	}
+	if reconnects < 2 {
+		t.Fatalf("reconnects = %d; the fault plan kills 2 connections, so dedupe was never exercised", reconnects)
+	}
+	if conns.Load() < 3 {
+		t.Fatalf("server saw %d connections, want >= 3", conns.Load())
+	}
+	if inj.FiredTotal() == 0 {
+		t.Fatal("drip fault never fired")
 	}
 }
 

@@ -1,0 +1,193 @@
+// Per-backend state: the spillover half of the routing algebra. Each
+// backend carries a live Little's-Law occupancy estimator — a decayed
+// arrival counter (λ = count/τ) times a latency EWMA (W), the same shape
+// internal/limit applies to a single server, lifted to the fleet — plus a
+// consecutive-failure circuit breaker and the health view the prober
+// maintains from /healthz bodies.
+package cluster
+
+import (
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"littleslaw/internal/client"
+)
+
+// BreakerState is a backend's circuit-breaker position.
+type BreakerState int
+
+const (
+	// BreakerClosed: healthy, requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: too many consecutive transport failures; no requests
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed, one trial request is probing.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Backend is one llserved instance behind the proxy.
+type Backend struct {
+	// Name labels the backend in metrics and the ring (host:port).
+	Name string
+	// URL is the backend's base URL.
+	URL string
+
+	cl    *client.Client // unary forwards: retries, backoff, Retry-After
+	httpc *http.Client   // streams and probes: single attempt, no retries
+
+	// Estimator/breaker tuning, copied from the proxy config.
+	tau      float64 // decay constant: halflife / ln 2, seconds
+	alpha    float64 // latency EWMA weight
+	maxFails int     // consecutive transport failures that open the breaker
+	cooldown time.Duration
+
+	mu sync.Mutex
+	// Occupancy estimator (λ·W), limit.routeStat's shape.
+	count    float64 // decayed arrivals; λ = count/τ
+	last     time.Time
+	lat      float64 // EWMA latency, seconds
+	latSeen  bool
+	inflight int
+	// Health, from the prober.
+	healthy  bool
+	reported float64 // backend's own limiter n_avg from its last /healthz body
+	// Breaker.
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+}
+
+// decayLocked ages the arrival counter to now. Callers hold mu.
+func (b *Backend) decayLocked(now time.Time) {
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.count *= math.Exp(-dt / b.tau)
+		}
+	}
+	b.last = now
+}
+
+// arrive records a forwarded request starting.
+func (b *Backend) arrive(now time.Time) {
+	b.mu.Lock()
+	b.decayLocked(now)
+	b.count++
+	b.inflight++
+	b.mu.Unlock()
+}
+
+// complete records a forwarded request finishing. Latency is folded into
+// the EWMA only when a response actually arrived — transport errors and
+// canceled hedges have no service time to learn from.
+func (b *Backend) complete(latency time.Duration, observed bool) {
+	b.mu.Lock()
+	b.inflight--
+	if observed {
+		sec := latency.Seconds()
+		if !b.latSeen {
+			b.lat, b.latSeen = sec, true
+		} else {
+			b.lat += b.alpha * (sec - b.lat)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// navg is the live Little's-Law occupancy estimate λ·W at now.
+func (b *Backend) navg(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.navgLocked(now)
+}
+
+func (b *Backend) navgLocked(now time.Time) float64 {
+	b.decayLocked(now)
+	if !b.latSeen {
+		return 0
+	}
+	return b.count / b.tau * b.lat
+}
+
+// load is the routing signal: the worst of the instantaneous in-flight
+// count (gates hard bursts before any latency sample exists), the local
+// λ·W estimate (memory of recent behavior) and the backend's own reported
+// limiter occupancy (covers load arriving outside this proxy).
+func (b *Backend) load(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return max(float64(b.inflight), max(b.navgLocked(now), b.reported))
+}
+
+// allow reports whether the breaker admits a request at now, transitioning
+// Open→HalfOpen once per cooldown: the first caller after the cooldown gets
+// the trial; others stay rejected until the trial resolves.
+func (b *Backend) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		return false
+	}
+	return true
+}
+
+// success records a proof of liveness (any HTTP response, or a 200 probe):
+// the breaker closes and the failure streak resets.
+func (b *Backend) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.state = BreakerClosed
+	b.healthy = true
+	b.mu.Unlock()
+}
+
+// failure records a transport-level failure (connect refused, reset,
+// probe timeout). Reaching maxFails — or failing the half-open trial —
+// opens the breaker; openedAt re-arms on every failure so a backend that
+// keeps refusing keeps the breaker open a full cooldown past its last
+// observed failure.
+func (b *Backend) failure(now time.Time) {
+	b.mu.Lock()
+	b.fails++
+	if b.fails >= b.maxFails || b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.healthy = false
+	}
+	b.mu.Unlock()
+}
+
+// probeOK records a healthy probe and the limiter occupancy the backend
+// reported about itself.
+func (b *Backend) probeOK(reportedNAvg float64) {
+	b.success()
+	b.mu.Lock()
+	b.reported = reportedNAvg
+	b.mu.Unlock()
+}
+
+// snapshotState returns the breaker state and health for metrics.
+func (b *Backend) snapshotState() (BreakerState, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.healthy
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"littleslaw/internal/queueing"
+)
+
+func testBackend(halfLife time.Duration, maxFails int, cooldown time.Duration) *Backend {
+	return &Backend{
+		Name:     "test:1",
+		tau:      halfLife.Seconds() / ln2,
+		alpha:    0.2,
+		maxFails: maxFails,
+		cooldown: cooldown,
+		healthy:  true,
+	}
+}
+
+// TestBackendNAvgMatchesOccupancyAt is the golden test tying the proxy's
+// per-backend estimator to the paper pipeline, the cluster-tier twin of the
+// limiter's own golden test: replay a steady synthetic trace (λ = 200/s,
+// W = 25 ms) under a fake clock and check the live λ·W estimate against
+// queueing.Curve.OccupancyAt on a flat profile. Little's Law on both
+// sides: λ·W = 5.
+func TestBackendNAvgMatchesOccupancyAt(t *testing.T) {
+	const (
+		lambda    = 200.0
+		service   = 25 * time.Millisecond
+		lineBytes = 64
+		duration  = 5 * time.Second
+	)
+	b := testBackend(500*time.Millisecond, 3, time.Second)
+
+	type event struct{ at time.Time }
+	interval := time.Duration(float64(time.Second) / lambda)
+	var pending []event
+	var clock time.Time
+	for at := time.Unix(0, 0); at.Sub(time.Unix(0, 0)) < duration; at = at.Add(interval) {
+		sort.Slice(pending, func(i, j int) bool { return pending[i].at.Before(pending[j].at) })
+		for len(pending) > 0 && !pending[0].at.After(at) {
+			b.complete(service, true)
+			pending = pending[1:]
+		}
+		clock = at
+		b.arrive(clock)
+		pending = append(pending, event{at: at.Add(service)})
+	}
+	got := b.navg(clock)
+
+	curve := queueing.MustCurve([]queueing.CurvePoint{
+		{BandwidthGBs: 0, LatencyNs: service.Seconds() * 1e9},
+		{BandwidthGBs: 100, LatencyNs: service.Seconds() * 1e9},
+	})
+	want := curve.OccupancyAt(lambda*lineBytes/1e9, lineBytes)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("backend n_avg = %.4f, OccupancyAt = %.4f (diverges > 2%%)", got, want)
+	}
+	if lw := lambda * service.Seconds(); math.Abs(want-lw) > 1e-9 {
+		t.Fatalf("OccupancyAt = %v, want λ·W = %v", want, lw)
+	}
+}
+
+// TestBackendNAvgDecays: with arrivals stopped, the estimate halves every
+// half-life — stale load memories cannot repel traffic forever.
+func TestBackendNAvgDecays(t *testing.T) {
+	halfLife := time.Second
+	b := testBackend(halfLife, 3, time.Second)
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		b.arrive(now)
+		b.complete(50*time.Millisecond, true)
+	}
+	n0 := b.navg(now)
+	if n0 <= 0 {
+		t.Fatalf("no occupancy after a burst")
+	}
+	n1 := b.navg(now.Add(halfLife))
+	if ratio := n1 / n0; math.Abs(ratio-0.5) > 0.01 {
+		t.Fatalf("after one half-life n_avg ratio = %.3f, want 0.5", ratio)
+	}
+}
+
+// TestBackendLoadTakesWorstSignal: the routing load is the max of in-flight
+// count, the local λ·W estimate and the backend's self-reported occupancy.
+func TestBackendLoadTakesWorstSignal(t *testing.T) {
+	b := testBackend(time.Second, 3, time.Second)
+	now := time.Unix(0, 0)
+	if got := b.load(now); got != 0 {
+		t.Fatalf("idle load = %v, want 0", got)
+	}
+	// Before any latency sample, in-flight is the only honest signal.
+	b.arrive(now)
+	b.arrive(now)
+	if got := b.load(now); got != 2 {
+		t.Fatalf("load with 2 in flight = %v, want 2", got)
+	}
+	b.complete(time.Millisecond, true)
+	b.complete(time.Millisecond, true)
+	// A probe reporting the backend's own limiter occupancy dominates when
+	// it is the largest term (load this proxy cannot see).
+	b.probeOK(7.5)
+	if got := b.load(now); got != 7.5 {
+		t.Fatalf("load with reported n_avg 7.5 = %v, want 7.5", got)
+	}
+}
+
+// TestBreakerTransitions drives the full circuit: closed under failures
+// below the threshold, open at the threshold, rejecting during cooldown,
+// one half-open trial after it, reopening on a failed trial, closing on
+// success.
+func TestBreakerTransitions(t *testing.T) {
+	cooldown := 5 * time.Second
+	b := testBackend(time.Second, 3, cooldown)
+	now := time.Unix(0, 0)
+
+	for i := 0; i < 2; i++ {
+		b.failure(now)
+		if !b.allow(now) {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.failure(now)
+	if st, healthy := b.snapshotState(); st != BreakerOpen || healthy {
+		t.Fatalf("after 3 failures: state %v healthy %v, want open/unhealthy", st, healthy)
+	}
+	if b.allow(now.Add(cooldown - time.Millisecond)) {
+		t.Fatalf("open breaker admitted during cooldown")
+	}
+
+	trialAt := now.Add(cooldown)
+	if !b.allow(trialAt) {
+		t.Fatalf("no half-open trial after cooldown")
+	}
+	if st, _ := b.snapshotState(); st != BreakerHalfOpen {
+		t.Fatalf("state after trial grant = %v, want half-open", st)
+	}
+	if b.allow(trialAt) {
+		t.Fatalf("second request admitted while the trial is in flight")
+	}
+
+	// A failed trial reopens immediately and re-arms the cooldown.
+	b.failure(trialAt)
+	if st, _ := b.snapshotState(); st != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", st)
+	}
+	if b.allow(trialAt.Add(cooldown - time.Millisecond)) {
+		t.Fatalf("reopened breaker admitted before a full fresh cooldown")
+	}
+	retryAt := trialAt.Add(cooldown)
+	if !b.allow(retryAt) {
+		t.Fatalf("no second trial after the re-armed cooldown")
+	}
+
+	// A successful trial closes the breaker and clears the streak.
+	b.success()
+	if st, healthy := b.snapshotState(); st != BreakerClosed || !healthy {
+		t.Fatalf("after successful trial: state %v healthy %v, want closed/healthy", st, healthy)
+	}
+	if !b.allow(retryAt) {
+		t.Fatalf("closed breaker rejected")
+	}
+	// The streak reset means two fresh failures still do not open it.
+	b.failure(retryAt)
+	b.failure(retryAt)
+	if st, _ := b.snapshotState(); st != BreakerClosed {
+		t.Fatalf("failure streak not reset by success")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("state %d String() = %q, want %q", st, got, want)
+		}
+	}
+}

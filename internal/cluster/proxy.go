@@ -1,0 +1,963 @@
+// Package cluster is the Little's-Law-aware scale-out tier: a reverse
+// proxy sharding /v1/* traffic across N llserved backends. Routing is an
+// algebra of two terms:
+//
+//   - Affinity: requests hash by the canonical identity of their cacheable
+//     work (the runner cache key for simulated analyses, the platform for
+//     profile work, table×scale for tables) onto a consistent-hash ring, so
+//     identical analyses revisit the backend whose caches already hold the
+//     answer.
+//   - Occupancy: each backend carries a live n_avg = λ·W estimate (decayed
+//     arrival counter × latency EWMA — internal/limit's accounting, lifted
+//     to the fleet). When the affinity owner's estimate exceeds the
+//     configured ceiling, the request spills to the least-loaded backend
+//     instead: Equation 1 as the spillover signal.
+//
+// Around that core: /healthz-driven probing with a per-backend circuit
+// breaker (open on consecutive transport failures, half-open trials),
+// hedged requests for idempotent GETs, stream-pinned routing for
+// /v1/watch/{stream} (every subscriber must reach the broker's owner),
+// forwarding through the resilient internal/client, llproxy_* per-backend
+// metrics, and two fault sites (cluster.forward, cluster.probe).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"littleslaw/internal/buildinfo"
+	"littleslaw/internal/client"
+	"littleslaw/internal/faults"
+	"littleslaw/internal/metrics"
+	"littleslaw/internal/service"
+)
+
+// The cluster tier's fault-injection sites: ForwardFaultSite is evaluated
+// once per proxied request (unary and stream) before any backend is
+// contacted; ProbeFaultSite once per health probe.
+const (
+	ForwardFaultSite = "cluster.forward"
+	ProbeFaultSite   = "cluster.probe"
+)
+
+// Config tunes a Proxy. Zero values take the documented defaults.
+type Config struct {
+	// Backends are the llserved base URLs to shard across (required,
+	// distinct hosts).
+	Backends []string
+	// OccupancyCeiling is the per-backend n_avg above which affinity is
+	// overridden and the request spills to the least-loaded backend
+	// (0 = 32).
+	OccupancyCeiling float64
+	// RateHalfLife is the arrival-rate estimator's half-life (0 = 10s).
+	RateHalfLife time.Duration
+	// LatencyAlpha is the latency EWMA weight in (0, 1] (0 = 0.2).
+	LatencyAlpha float64
+	// ProbeInterval spaces background /healthz probes (0 = 2s; negative
+	// disables the background prober — tests drive ProbeAll directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// BreakerFailures is the consecutive transport-failure count that opens
+	// a backend's breaker (0 = 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects before granting a
+	// half-open trial (0 = 5s).
+	BreakerCooldown time.Duration
+	// HedgeDelay is how long an idempotent GET waits on its primary before
+	// opening a second lane to the next candidate (0 = 250ms; negative
+	// disables hedging).
+	HedgeDelay time.Duration
+	// VNodes is the consistent-hash ring's per-backend virtual-node count
+	// (0 = DefaultVNodes).
+	VNodes int
+	// ClientTimeout bounds each forwarded attempt (0 = 10s).
+	ClientTimeout time.Duration
+	// ClientMaxAttempts caps attempts per forwarded request, first try
+	// included (0 = 2: one quick retry, then failover to another backend).
+	ClientMaxAttempts int
+	// Seed makes backend-client backoff jitter deterministic (0 = clock).
+	Seed int64
+	// Registry receives the proxy metrics (nil = a fresh registry).
+	Registry *metrics.Registry
+	// FaultInjector backs the cluster.* sites (nil = faults.Global()).
+	FaultInjector *faults.Injector
+	// Now is the clock (tests; nil = time.Now).
+	Now func() time.Time
+}
+
+func (c *Config) normalize() error {
+	if len(c.Backends) == 0 {
+		return fmt.Errorf("cluster: at least one backend is required")
+	}
+	if c.OccupancyCeiling <= 0 {
+		c.OccupancyCeiling = 32
+	}
+	if c.RateHalfLife <= 0 {
+		c.RateHalfLife = 10 * time.Second
+	}
+	if c.LatencyAlpha <= 0 || c.LatencyAlpha > 1 {
+		c.LatencyAlpha = 0.2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 250 * time.Millisecond
+	}
+	if c.ClientTimeout <= 0 {
+		c.ClientTimeout = 10 * time.Second
+	}
+	if c.ClientMaxAttempts <= 0 {
+		c.ClientMaxAttempts = 2
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.FaultInjector == nil {
+		c.FaultInjector = faults.Global()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return nil
+}
+
+// Proxy is the scale-out tier. Construct with New; Handler is safe for
+// concurrent use. Start launches the background prober, Close stops it.
+type Proxy struct {
+	cfg      Config
+	reg      *metrics.Registry
+	faults   *faults.Injector
+	ring     *Ring
+	backends map[string]*Backend
+	order    []*Backend // stable name order, for deterministic iteration
+	mux      *http.ServeMux
+
+	requests      *metrics.CounterVec
+	latency       *metrics.HistogramVec
+	inflight      *metrics.Gauge
+	hedges        *metrics.Counter
+	failovers     *metrics.Counter
+	overrides     *metrics.Counter
+	noBackend     *metrics.Counter
+	probeFailures *metrics.CounterVec
+	streamClients *metrics.GaugeVec
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Proxy over cfg.Backends.
+func New(cfg Config) (*Proxy, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		faults:   cfg.FaultInjector,
+		backends: make(map[string]*Backend, len(cfg.Backends)),
+		stop:     make(chan struct{}),
+	}
+	names := make([]string, 0, len(cfg.Backends))
+	for i, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %q: want an absolute URL like http://host:port", raw)
+		}
+		name := u.Host
+		if _, dup := p.backends[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", name)
+		}
+		seed := cfg.Seed
+		if seed != 0 {
+			seed += int64(i) // distinct jitter streams per backend
+		}
+		cl, err := client.New(client.Config{
+			BaseURL:     raw,
+			Timeout:     cfg.ClientTimeout,
+			MaxAttempts: cfg.ClientMaxAttempts,
+			Seed:        seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %q: %w", raw, err)
+		}
+		b := &Backend{
+			Name:     name,
+			URL:      strings.TrimRight(raw, "/"),
+			cl:       cl,
+			httpc:    &http.Client{},
+			tau:      cfg.RateHalfLife.Seconds() / ln2,
+			alpha:    cfg.LatencyAlpha,
+			maxFails: cfg.BreakerFailures,
+			cooldown: cfg.BreakerCooldown,
+			healthy:  true, // innocent until a probe or forward proves otherwise
+		}
+		p.backends[name] = b
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p.order = append(p.order, p.backends[n])
+	}
+	p.ring = NewRing(names, cfg.VNodes)
+	p.registerMetrics()
+	p.routes()
+	return p, nil
+}
+
+const ln2 = 0.6931471805599453
+
+func (p *Proxy) registerMetrics() {
+	p.requests = p.reg.CounterVec("llproxy_requests_total",
+		"Forwarded requests by backend and outcome (ok, shed, client_error, server_error, error, canceled, stream).",
+		"backend", "outcome")
+	p.latency = p.reg.HistogramVec("llproxy_request_seconds",
+		"Forwarded unary request latency by backend (transport errors excluded).", nil, "backend")
+	p.inflight = p.reg.Gauge("llproxy_inflight_requests",
+		"Requests currently inside the proxy (directly sampled occupancy).")
+	p.hedges = p.reg.Counter("llproxy_hedges_total",
+		"Secondary lanes opened for idempotent GETs whose primary outlived the hedge delay.")
+	p.failovers = p.reg.Counter("llproxy_failovers_total",
+		"Requests retried against another backend after a failure or retryable status.")
+	p.overrides = p.reg.Counter("llproxy_affinity_overrides_total",
+		"Requests routed away from their affinity owner because its estimated n_avg exceeded the ceiling.")
+	p.noBackend = p.reg.Counter("llproxy_no_backend_total",
+		"Requests shed with 503 because every backend's breaker was open.")
+	p.probeFailures = p.reg.CounterVec("llproxy_probe_failures_total",
+		"Failed /healthz probes by backend.", "backend")
+	p.streamClients = p.reg.GaugeVec("llproxy_stream_clients",
+		"Live proxied /v1/watch connections by backend.", "backend")
+	p.reg.DerivedVec("llproxy_backend_navg",
+		"Live per-backend Little's-Law occupancy estimate: decayed arrival rate x latency EWMA.",
+		"backend", func() map[string]float64 {
+			now := p.cfg.Now()
+			m := make(map[string]float64, len(p.order))
+			for _, b := range p.order {
+				m[b.Name] = b.navg(now)
+			}
+			return m
+		})
+	p.reg.DerivedVec("llproxy_backend_reported_navg",
+		"Each backend's own limiter n_avg from its last /healthz probe body.",
+		"backend", func() map[string]float64 {
+			m := make(map[string]float64, len(p.order))
+			for _, b := range p.order {
+				b.mu.Lock()
+				m[b.Name] = b.reported
+				b.mu.Unlock()
+			}
+			return m
+		})
+	p.reg.DerivedVec("llproxy_backend_up",
+		"1 when the backend's last probe or forward succeeded, 0 when it is considered down.",
+		"backend", func() map[string]float64 {
+			m := make(map[string]float64, len(p.order))
+			for _, b := range p.order {
+				if _, healthy := b.snapshotState(); healthy {
+					m[b.Name] = 1
+				} else {
+					m[b.Name] = 0
+				}
+			}
+			return m
+		})
+	p.reg.DerivedVec("llproxy_breaker_state",
+		"Per-backend circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		"backend", func() map[string]float64 {
+			m := make(map[string]float64, len(p.order))
+			for _, b := range p.order {
+				st, _ := b.snapshotState()
+				m[b.Name] = float64(st)
+			}
+			return m
+		})
+	p.reg.Derived("llproxy_littles_law_concurrency",
+		"The proxy's own n_avg from Little's Law: forwarded latency_sum over uptime.",
+		func() float64 { return p.reg.LittleConcurrency(p.latency) })
+}
+
+func (p *Proxy) routes() {
+	p.mux = http.NewServeMux()
+	p.mux.Handle("GET /healthz", http.HandlerFunc(p.handleHealthz))
+	p.mux.Handle("GET /metrics", http.HandlerFunc(p.handleMetrics))
+	p.mux.Handle("GET /v1/platforms", p.unary("platforms", true))
+	p.mux.Handle("GET /v1/tables/{id}", p.unary("tables", true))
+	p.mux.Handle("POST /v1/characterize", p.unary("characterize", false))
+	p.mux.Handle("POST /v1/analyze", p.unary("analyze", false))
+	p.mux.Handle("POST /v1/analyze/batch", p.unary("analyze_batch", false))
+	p.mux.Handle("POST /v1/advise", p.unary("advise", false))
+	p.mux.Handle("POST /v1/tune", p.unary("tune", false))
+	p.mux.Handle("POST /v1/watch", http.HandlerFunc(p.handleWatchPost))
+	p.mux.Handle("GET /v1/watch/{stream}", http.HandlerFunc(p.handleWatchSubscribe))
+	p.mux.Handle("GET /v1/faults", http.HandlerFunc(p.handleFaultsFanout))
+	p.mux.Handle("POST /v1/faults", http.HandlerFunc(p.handleFaultsFanout))
+}
+
+// Handler returns the proxy's HTTP handler.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+// Registry returns the metrics registry serving /metrics.
+func (p *Proxy) Registry() *metrics.Registry { return p.reg }
+
+// Backends returns the backend names in stable order.
+func (p *Proxy) Backends() []string {
+	names := make([]string, len(p.order))
+	for i, b := range p.order {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Start launches the background prober (a no-op when ProbeInterval < 0).
+func (p *Proxy) Start() {
+	if p.cfg.ProbeInterval < 0 {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.ProbeAll(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the background prober and waits for it.
+func (p *Proxy) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// ProbeAll health-checks every backend once, concurrently.
+func (p *Proxy) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range p.order {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			p.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe is one /healthz check: a single unretried GET under ProbeTimeout.
+// Any 200 closes the breaker (up, even if drowning); the JSON body's
+// limiter n_avg feeds the routing signal so a backend overloaded by
+// traffic this proxy cannot see still repels spillover.
+func (p *Proxy) probe(ctx context.Context, b *Backend) {
+	switch f := p.faults.Eval(ProbeFaultSite); f.Kind {
+	case faults.KindLatency:
+		f.Sleep(ctx)
+	case faults.KindError:
+		p.probeFailures.With(b.Name).Inc()
+		b.failure(p.cfg.Now())
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.URL+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := b.httpc.Do(req)
+	if err != nil {
+		p.probeFailures.With(b.Name).Inc()
+		b.failure(p.cfg.Now())
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.probeFailures.With(b.Name).Inc()
+		b.failure(p.cfg.Now())
+		return
+	}
+	reported := 0.0
+	var h service.HealthzResponse
+	// Tolerate non-JSON bodies: an older backend's plain "ok" is still up.
+	if json.Unmarshal(body, &h) == nil && h.LimiterNAvg != nil {
+		reported = *h.LimiterNAvg
+	}
+	b.probeOK(reported)
+}
+
+// ---- routing ----
+
+// candidates returns the backends that may serve a request with the given
+// affinity key, in preference order: the ring owner first (unless its
+// occupancy estimate exceeds the ceiling and the request is not pinned),
+// then the remaining eligible backends by ascending load. Pinned requests
+// (streams) always put the owner first — a subscriber must reach the
+// broker's host — and only breaker ineligibility reroutes them.
+func (p *Proxy) candidates(key string, pinned bool) []*Backend {
+	now := p.cfg.Now()
+	type cand struct {
+		b    *Backend
+		load float64
+	}
+	elig := make([]cand, 0, len(p.order))
+	for _, b := range p.order {
+		if b.allow(now) {
+			elig = append(elig, cand{b, b.load(now)})
+		}
+	}
+	if len(elig) == 0 {
+		return nil
+	}
+	sort.SliceStable(elig, func(i, j int) bool { return elig[i].load < elig[j].load })
+	out := make([]*Backend, len(elig))
+	for i, c := range elig {
+		out[i] = c.b
+	}
+	if key == "" {
+		return out
+	}
+	owner, ok := p.ring.OwnerWhere(key, func(name string) bool {
+		for _, c := range elig {
+			if c.b.Name == name {
+				return true
+			}
+		}
+		return false
+	})
+	if !ok {
+		return out
+	}
+	oi := 0
+	for i, b := range out {
+		if b.Name == owner {
+			oi = i
+			break
+		}
+	}
+	if !pinned && out[oi].load(now) >= p.cfg.OccupancyCeiling {
+		// Join-least-n_avg spillover: the owner is drowning, the sorted
+		// order already leads with the least-loaded backend; the owner
+		// stays available as a later failover candidate.
+		if oi != 0 {
+			p.overrides.Inc()
+		}
+		return out
+	}
+	if oi != 0 {
+		b := out[oi]
+		copy(out[1:oi+1], out[:oi])
+		out[0] = b
+	}
+	return out
+}
+
+// affinityKey derives the routing identity for a unary route from the
+// request. Undecodable or identity-free requests return "": routed by
+// load, and the backend produces the proper error.
+func affinityKey(route string, r *http.Request, body []byte) string {
+	switch route {
+	case "analyze", "advise":
+		if req, err := service.DecodeAnalyzeRequest(body); err == nil {
+			if key, ok := req.AffinityKey(); ok {
+				return key
+			}
+		}
+	case "analyze_batch":
+		if req, err := service.DecodeBatchAnalyzeRequest(body); err == nil {
+			if key, ok := req.AffinityKey(); ok {
+				return key
+			}
+		}
+	case "characterize":
+		if req, err := service.DecodeCharacterizeRequest(body); err == nil {
+			if key, ok := req.AffinityKey(); ok {
+				return key
+			}
+		}
+	case "tune":
+		if req, err := service.DecodeTuneRequest(body); err == nil {
+			if key, ok := req.AffinityKey(); ok {
+				return key
+			}
+		}
+	case "tables":
+		scale := 1.0
+		if v := r.URL.Query().Get("scale"); v != "" {
+			fmt.Sscanf(v, "%g", &scale)
+		}
+		if key, ok := service.TableAffinityKey(r.PathValue("id"), scale); ok {
+			return key
+		}
+	}
+	return ""
+}
+
+// ---- unary forwarding ----
+
+// unary builds the handler for a request/response route. hedgeable GETs
+// race a second backend after HedgeDelay.
+func (p *Proxy) unary(route string, hedgeable bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.inflight.Inc()
+		defer p.inflight.Dec()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
+		if err != nil {
+			p.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		if !p.forwardFault(w, r) {
+			return
+		}
+		key := affinityKey(route, r, body)
+		cands := p.candidates(key, false)
+		if len(cands) == 0 {
+			p.shedNoBackend(w)
+			return
+		}
+		path := forwardPath(r)
+		var res *client.Result
+		if hedgeable && r.Method == http.MethodGet && p.cfg.HedgeDelay > 0 && len(cands) > 1 {
+			res, err = p.hedged(r.Context(), cands, path)
+		} else {
+			res, err = p.sequential(r.Context(), cands, r.Method, path, r.Header.Get("Content-Type"), body)
+		}
+		if err != nil || res == nil {
+			status := http.StatusBadGateway
+			if r.Context().Err() != nil {
+				status = http.StatusGatewayTimeout
+			}
+			if err == nil {
+				err = fmt.Errorf("no backend produced a response")
+			}
+			p.writeError(w, status, fmt.Errorf("forwarding failed: %w", err))
+			return
+		}
+		p.respond(w, res)
+	})
+}
+
+// forwardFault evaluates the cluster.forward site; false means the request
+// was answered (injected error) and must not be forwarded.
+func (p *Proxy) forwardFault(w http.ResponseWriter, r *http.Request) bool {
+	switch f := p.faults.Eval(ForwardFaultSite); f.Kind {
+	case faults.KindLatency:
+		f.Sleep(r.Context())
+	case faults.KindError:
+		// The proxy's own transient failure: 502 with a short hint, the
+		// shape a resilient client retries.
+		w.Header().Set("Retry-After", "1")
+		p.writeError(w, http.StatusBadGateway, f.Err())
+		return false
+	case faults.KindPanic:
+		panic(f.PanicValue())
+	}
+	return true
+}
+
+func forwardPath(r *http.Request) string {
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	return path
+}
+
+// failoverWorthy reports whether a status is worth trying another backend:
+// the shed and transient-5xx family. Every /v1 verb is a read-only
+// analysis, so re-executing elsewhere is safe.
+func failoverWorthy(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// sequential walks the candidates in order until one yields a
+// non-failover-worthy response; the last response (or error) is returned
+// when all do.
+func (p *Proxy) sequential(ctx context.Context, cands []*Backend, method, path, contentType string, body []byte) (*client.Result, error) {
+	var lastRes *client.Result
+	var lastErr error
+	for i, b := range cands {
+		if i > 0 {
+			p.failovers.Inc()
+		}
+		res, err := p.tryBackend(ctx, b, method, path, contentType, body)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		lastRes, lastErr = res, nil
+		if !failoverWorthy(res.Status) {
+			return res, nil
+		}
+	}
+	return lastRes, lastErr
+}
+
+// hedged races candidates for an idempotent GET: the primary fires
+// immediately, a second lane opens when the primary outlives HedgeDelay
+// (or fails), and the first good response wins; losers are canceled.
+func (p *Proxy) hedged(ctx context.Context, cands []*Backend, path string) (*client.Result, error) {
+	type outcome struct {
+		res *client.Result
+		err error
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, len(cands))
+	next := 0
+	fire := func() {
+		b := cands[next]
+		next++
+		go func() {
+			res, err := p.tryBackend(hctx, b, http.MethodGet, path, "", nil)
+			ch <- outcome{res, err}
+		}()
+	}
+	fire()
+	pending := 1
+	timer := time.NewTimer(p.cfg.HedgeDelay)
+	defer timer.Stop()
+	var last outcome
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
+			// The hedge proper: at most one speculative lane on top of the
+			// primary; failures below may still walk further candidates.
+			if next < len(cands) && next < 2 {
+				p.hedges.Inc()
+				fire()
+				pending++
+			}
+		case o := <-ch:
+			pending--
+			if o.err == nil && !failoverWorthy(o.res.Status) {
+				return o.res, nil
+			}
+			last = o
+			if next < len(cands) {
+				p.failovers.Inc()
+				fire()
+				pending++
+			} else if pending == 0 {
+				return last.res, last.err
+			}
+		}
+	}
+}
+
+// tryBackend forwards one unary request through the backend's resilient
+// client, feeding the occupancy estimator, the breaker and the metrics.
+func (p *Proxy) tryBackend(ctx context.Context, b *Backend, method, path, contentType string, body []byte) (*client.Result, error) {
+	b.arrive(p.cfg.Now())
+	begin := time.Now()
+	res, err := b.cl.Do(ctx, method, path, contentType, body)
+	elapsed := time.Since(begin)
+	b.complete(elapsed, err == nil)
+	if err != nil {
+		if ctx.Err() != nil {
+			// A canceled hedge lane or an expired request says nothing
+			// about the backend's health.
+			p.requests.With(b.Name, "canceled").Inc()
+			return nil, err
+		}
+		b.failure(p.cfg.Now())
+		p.requests.With(b.Name, "error").Inc()
+		return nil, err
+	}
+	// Any HTTP response — a shed, even a 500 — proves the process is alive;
+	// the breaker guards against unreachable backends, not unhappy ones.
+	b.success()
+	p.latency.With(b.Name).Observe(elapsed.Seconds())
+	p.requests.With(b.Name, outcomeOf(res.Status)).Inc()
+	return res, nil
+}
+
+func outcomeOf(status int) string {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status >= 200 && status < 300:
+		return "ok"
+	case status >= 500:
+		return "server_error"
+	default:
+		return "client_error"
+	}
+}
+
+// respond relays the backend's final response.
+func (p *Proxy) respond(w http.ResponseWriter, res *client.Result) {
+	ct := res.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json"
+	}
+	h := w.Header()
+	h.Set("Content-Type", ct)
+	h.Set("X-Content-Type-Options", "nosniff")
+	for _, k := range []string{"Retry-After", "Cache-Control"} {
+		if v := res.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}
+
+func (p *Proxy) shedNoBackend(w http.ResponseWriter) {
+	p.noBackend.Inc()
+	// The cooldown is when the next half-open trial can fire; retrying
+	// sooner cannot succeed.
+	w.Header().Set("Retry-After", retryAfterSeconds(p.cfg.BreakerCooldown))
+	p.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no healthy backends"))
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func (p *Proxy) writeError(w http.ResponseWriter, status int, err error) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(service.ErrorResponse{Error: err.Error()})
+}
+
+// ---- streams ----
+
+// handleWatchPost routes POST /v1/watch: named streams pin to the ring
+// owner of their name (so GET /v1/watch/{stream} subscribers find the
+// broker), ad-hoc streams join the least-loaded backend.
+func (p *Proxy) handleWatchPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	key := ""
+	// A loose parse on purpose: only the stream name routes; full
+	// validation is the backend's job.
+	var probe struct {
+		Stream string `json:"stream"`
+	}
+	if json.Unmarshal(body, &probe) == nil && probe.Stream != "" {
+		key = service.StreamAffinityKey(probe.Stream)
+	}
+	p.forwardStream(w, r, key, key != "", body)
+}
+
+// handleWatchSubscribe routes GET /v1/watch/{stream} to the stream's
+// pinned owner.
+func (p *Proxy) handleWatchSubscribe(w http.ResponseWriter, r *http.Request) {
+	key := service.StreamAffinityKey(r.PathValue("stream"))
+	p.forwardStream(w, r, key, true, nil)
+}
+
+// forwardStream proxies a long-lived NDJSON/SSE connection: raw
+// passthrough with a per-chunk flush, outside the unary client (which
+// buffers whole responses and retries — wrong on both counts for a
+// stream). Stream lifetimes do not feed the λ·W estimator: a healthy
+// stream lasts as long as its client, which says nothing about backend
+// service time. They are accounted by llproxy_stream_clients instead.
+func (p *Proxy) forwardStream(w http.ResponseWriter, r *http.Request, key string, pinned bool, body []byte) {
+	p.inflight.Inc()
+	defer p.inflight.Dec()
+	if !p.forwardFault(w, r) {
+		return
+	}
+	cands := p.candidates(key, pinned)
+	if len(cands) == 0 {
+		p.shedNoBackend(w)
+		return
+	}
+	b := cands[0]
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.URL+forwardPath(r), bytes.NewReader(body))
+	if err != nil {
+		p.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, k := range []string{"Accept", "Content-Type"} {
+		if v := r.Header.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	resp, err := b.httpc.Do(req)
+	if err != nil {
+		if r.Context().Err() == nil {
+			b.failure(p.cfg.Now())
+		}
+		p.requests.With(b.Name, "error").Inc()
+		p.writeError(w, http.StatusBadGateway, fmt.Errorf("stream to %s failed: %w", b.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+	b.success()
+	p.requests.With(b.Name, "stream").Inc()
+
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(resp.StatusCode)
+
+	gauge := p.streamClients.With(b.Name)
+	gauge.Inc()
+	defer gauge.Dec()
+
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			// Flush per chunk: events must reach the subscriber as they
+			// happen, not when a relay buffer fills.
+			rc.Flush()
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// ---- admin and introspection ----
+
+// handleFaultsFanout relays /v1/faults to every backend — chaos control
+// must reach the whole fleet, breaker state notwithstanding (an "open"
+// backend's admin plane may well be reachable even while its data plane
+// misbehaves).
+func (p *Proxy) handleFaultsFanout(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
+	if err != nil {
+		p.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	status := http.StatusOK
+	results := make(map[string]json.RawMessage, len(p.order))
+	for _, b := range p.order {
+		res, err := b.cl.Do(r.Context(), r.Method, "/v1/faults", r.Header.Get("Content-Type"), body)
+		if err != nil {
+			status = http.StatusBadGateway
+			msg, _ := json.Marshal(service.ErrorResponse{Error: err.Error()})
+			results[b.Name] = msg
+			continue
+		}
+		if res.Status != http.StatusOK && status == http.StatusOK {
+			status = res.Status
+		}
+		if json.Valid(res.Body) {
+			results[b.Name] = res.Body
+		} else {
+			msg, _ := json.Marshal(string(res.Body))
+			results[b.Name] = msg
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(results)
+}
+
+// BackendHealth is one backend's view in the proxy's /healthz body.
+type BackendHealth struct {
+	Name    string  `json:"name"`
+	URL     string  `json:"url"`
+	Healthy bool    `json:"healthy"`
+	Breaker string  `json:"breaker"`
+	NAvg    float64 `json:"navg"`
+	// ReportedNAvg is the backend's own limiter occupancy from its last
+	// probe body.
+	ReportedNAvg float64 `json:"reported_navg"`
+}
+
+// HealthResponse is the proxy's GET /healthz body.
+type HealthResponse struct {
+	// Status is "ok" while at least one backend accepts traffic,
+	// "degraded" otherwise (still 200: the proxy itself is alive).
+	Status   string          `json:"status"`
+	Version  string          `json:"version"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := p.cfg.Now()
+	resp := HealthResponse{Status: "degraded", Version: buildinfo.Version()}
+	for _, b := range p.order {
+		st, healthy := b.snapshotState()
+		if healthy {
+			resp.Status = "ok"
+		}
+		b.mu.Lock()
+		reported := b.reported
+		b.mu.Unlock()
+		resp.Backends = append(resp.Backends, BackendHealth{
+			Name:         b.Name,
+			URL:          b.URL,
+			Healthy:      healthy,
+			Breaker:      st.String(),
+			NAvg:         b.navg(now),
+			ReportedNAvg: reported,
+		})
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h := w.Header()
+	h.Set("Content-Type", "text/plain; version=0.0.4")
+	h.Set("X-Content-Type-Options", "nosniff")
+	p.reg.WritePrometheus(w)
+}

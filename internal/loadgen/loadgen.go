@@ -27,6 +27,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"littleslaw/internal/client"
@@ -34,8 +35,14 @@ import (
 
 // Options configures one load run.
 type Options struct {
-	// URL is the target (required).
+	// URL is the target (required unless Targets is set).
 	URL string
+	// Targets optionally names several target URLs; arrivals round-robin
+	// across them and the Result carries a per-target breakdown alongside
+	// the aggregate. Empty means the single URL. This is how llload drives
+	// a fleet of llserved backends directly, for comparison against the
+	// same fleet behind llproxy's affinity routing.
+	Targets []string
 	// Method defaults to POST when Body is non-empty, GET otherwise.
 	Method string
 	// Body is sent with every request.
@@ -73,8 +80,11 @@ type Options struct {
 }
 
 func (o *Options) normalize() error {
-	if o.URL == "" {
-		return fmt.Errorf("loadgen: URL is required")
+	if len(o.Targets) == 0 {
+		if o.URL == "" {
+			return fmt.Errorf("loadgen: URL is required")
+		}
+		o.Targets = []string{o.URL}
 	}
 	if o.Method == "" {
 		if len(o.Body) > 0 {
@@ -185,6 +195,19 @@ func schedule(o *Options) []time.Duration {
 	}
 }
 
+// TargetCounts is the per-target slice of a multi-target run's counters.
+// Fields mirror the aggregate Result partition.
+type TargetCounts struct {
+	Target                          string
+	Sent, OK, Shed, Failed, Retries int64
+}
+
+// String renders one per-target breakdown line.
+func (tc TargetCounts) String() string {
+	return fmt.Sprintf("%s  sent %d  ok %d  shed %d  failed %d  retries %d",
+		tc.Target, tc.Sent, tc.OK, tc.Shed, tc.Failed, tc.Retries)
+}
+
 // Result aggregates one run. Counts are over arrivals (a request retried
 // twice is one arrival, three attempts).
 type Result struct {
@@ -202,6 +225,20 @@ type Result struct {
 	Elapsed time.Duration
 	// latencies holds one sample per successful request.
 	latencies []time.Duration
+	// perTarget holds the per-target breakdown, in Options.Targets order.
+	perTarget []*TargetCounts
+}
+
+// PerTarget snapshots the per-target breakdown, in Options.Targets order.
+// Single-target runs report one entry.
+func (r *Result) PerTarget() []TargetCounts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TargetCounts, len(r.perTarget))
+	for i, tc := range r.perTarget {
+		out[i] = *tc
+	}
+	return out
 }
 
 // Quantile returns the q-th latency quantile (q in [0, 1]) of successful
@@ -261,7 +298,16 @@ func (r *Result) record(outcome func(*Result), lat time.Duration) {
 	r.mu.Unlock()
 }
 
-// Run drives the target until the duration (or context, or MaxRequests)
+// target is one resolved destination: its own resilient client (seeded
+// distinctly so retry jitter does not synchronize across the fleet) and
+// its slice of the counters.
+type target struct {
+	path   string
+	cl     *client.Client
+	counts *TargetCounts
+}
+
+// Run drives the target(s) until the duration (or context, or MaxRequests)
 // expires and returns the aggregate. The error reports option problems
 // only — a run against a shedding or failing server is a successful run
 // with non-zero Shed/Failed counts.
@@ -269,26 +315,39 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 	if err := o.normalize(); err != nil {
 		return nil, err
 	}
-	base, path, err := splitURL(o.URL)
-	if err != nil {
-		return nil, err
-	}
-	// A load generator's job is to offer the configured load, so the retry
-	// budget is off: Options.Retries is the explicit, user-chosen cap.
-	cl, err := client.New(client.Config{
-		BaseURL:     base,
-		HTTPClient:  o.Client,
-		Timeout:     o.Timeout,
-		MaxAttempts: o.Retries + 1,
-		Backoff:     o.Backoff,
-		Seed:        o.Seed,
-		BudgetRatio: -1,
-	})
-	if err != nil {
-		return nil, err
-	}
-
 	res := &Result{}
+	targets := make([]*target, len(o.Targets))
+	for i, raw := range o.Targets {
+		base, path, err := splitURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		// A load generator's job is to offer the configured load, so the
+		// retry budget is off: Options.Retries is the explicit, user-chosen
+		// cap.
+		cl, err := client.New(client.Config{
+			BaseURL:     base,
+			HTTPClient:  o.Client,
+			Timeout:     o.Timeout,
+			MaxAttempts: o.Retries + 1,
+			Backoff:     o.Backoff,
+			Seed:        o.Seed + int64(i),
+			BudgetRatio: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tc := &TargetCounts{Target: raw}
+		res.perTarget = append(res.perTarget, tc)
+		targets[i] = &target{path: path, cl: cl, counts: tc}
+	}
+	// Arrivals round-robin across targets in arrival order, so a fleet gets
+	// an even split regardless of which discipline generates the arrivals.
+	var rr int64
+	pick := func() *target {
+		n := atomic.AddInt64(&rr, 1) - 1
+		return targets[n%int64(len(targets))]
+	}
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(ctx, o.Duration)
 	defer cancel()
@@ -318,7 +377,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for ctx.Err() == nil && take() {
-					arrival(ctx, cl, &o, path, res)
+					arrival(ctx, pick(), &o, res)
 				}
 			}()
 		}
@@ -341,7 +400,7 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					arrival(ctx, cl, &o, path, res)
+					arrival(ctx, pick(), &o, res)
 				}()
 			}
 		}
@@ -359,25 +418,26 @@ func Run(ctx context.Context, o Options) (*Result, error) {
 // timeout rather than the run deadline, so arrivals near the end of the
 // window still complete — a context already dead mid-retry just surfaces
 // the last response.
-func arrival(ctx context.Context, cl *client.Client, o *Options, path string, res *Result) {
-	res.record(func(r *Result) { r.Sent++ }, 0)
+func arrival(ctx context.Context, tg *target, o *Options, res *Result) {
+	res.record(func(r *Result) { r.Sent++; tg.counts.Sent++ }, 0)
 	// Detach the attempt from the run deadline (the old behavior): the run
 	// context only gates new arrivals and retry sleeps.
-	cr, err := cl.Do(context.WithoutCancel(ctx), o.Method, path, o.ContentType, o.Body)
+	cr, err := tg.cl.Do(context.WithoutCancel(ctx), o.Method, tg.path, o.ContentType, o.Body)
 	if err != nil {
-		res.record(func(r *Result) { r.Failed++ }, 0)
+		res.record(func(r *Result) { r.Failed++; tg.counts.Failed++ }, 0)
 		return
 	}
 	res.record(func(r *Result) {
 		r.Retries += int64(cr.Attempts - 1)
+		tg.counts.Retries += int64(cr.Attempts - 1)
 		r.RetryAfterSeen += int64(cr.Hints)
 	}, 0)
 	switch {
 	case cr.Status >= 200 && cr.Status < 300:
-		res.record(func(r *Result) { r.OK++ }, cr.Latency)
+		res.record(func(r *Result) { r.OK++; tg.counts.OK++ }, cr.Latency)
 	case cr.Status == http.StatusTooManyRequests:
-		res.record(func(r *Result) { r.Shed++ }, 0)
+		res.record(func(r *Result) { r.Shed++; tg.counts.Shed++ }, 0)
 	default:
-		res.record(func(r *Result) { r.Failed++ }, 0)
+		res.record(func(r *Result) { r.Failed++; tg.counts.Failed++ }, 0)
 	}
 }

@@ -140,6 +140,9 @@ func TestStringConcurrentWithRecording(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := &Result{}
+	tc := &TargetCounts{Target: o.URL}
+	res.perTarget = append(res.perTarget, tc)
+	tg := &target{path: path, cl: cl, counts: tc}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -156,12 +159,93 @@ func TestStringConcurrentWithRecording(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 50; i++ {
-		arrival(context.Background(), cl, &o, path, res)
+		arrival(context.Background(), tg, &o, res)
 	}
 	close(stop)
 	wg.Wait()
 	if res.Sent != 50 || res.OK != 50 {
 		t.Fatalf("res = %s, want 50 sent and ok", res)
+	}
+}
+
+// TestMultiTargetRoundRobin: a fleet of targets shares the arrivals evenly
+// (round-robin in arrival order), and the per-target breakdown partitions
+// the aggregate exactly.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	var hits [3]atomic.Int64
+	urls := make([]string, 3)
+	for i := range urls {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+		}))
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	res, err := Run(context.Background(), Options{
+		Targets: urls, Mode: "closed", Concurrency: 1, MaxRequests: 9, Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 9 || res.OK != 9 {
+		t.Fatalf("aggregate = %s, want 9 sent and ok", res)
+	}
+	per := res.PerTarget()
+	if len(per) != 3 {
+		t.Fatalf("per-target entries = %d, want 3", len(per))
+	}
+	for i, tc := range per {
+		if tc.Target != urls[i] {
+			t.Fatalf("entry %d target = %q, want %q (Options.Targets order)", i, tc.Target, urls[i])
+		}
+		// One worker round-robining 9 arrivals over 3 targets: exactly 3 each.
+		if tc.Sent != 3 || tc.OK != 3 || tc.Shed != 0 || tc.Failed != 0 {
+			t.Fatalf("entry %d = %s, want 3 sent / 3 ok", i, tc)
+		}
+		if got := hits[i].Load(); got != 3 {
+			t.Fatalf("server %d saw %d hits, want 3", i, got)
+		}
+	}
+}
+
+// TestMultiTargetAttributesOutcomes: sheds and successes land in the
+// counters of the target that produced them, not smeared across the fleet.
+func TestMultiTargetAttributesOutcomes(t *testing.T) {
+	okTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer okTS.Close()
+	shedTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer shedTS.Close()
+	res, err := Run(context.Background(), Options{
+		Targets: []string{okTS.URL, shedTS.URL},
+		Mode:    "closed", Concurrency: 1, MaxRequests: 6, Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 6 || res.OK != 3 || res.Shed != 3 {
+		t.Fatalf("aggregate = %s", res)
+	}
+	per := res.PerTarget()
+	if per[0].OK != 3 || per[0].Shed != 0 || per[1].OK != 0 || per[1].Shed != 3 {
+		t.Fatalf("per-target = %v, want all OKs on target 0 and all sheds on target 1", per)
+	}
+}
+
+// TestSingleTargetPerTargetView: a plain -url run still exposes the
+// breakdown, with one entry matching the aggregate.
+func TestSingleTargetPerTargetView(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{URL: ts.URL, MaxRequests: 4, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.PerTarget()
+	if len(per) != 1 || per[0].Target != ts.URL || per[0].Sent != res.Sent || per[0].OK != res.OK {
+		t.Fatalf("per-target = %v, aggregate = %s", per, res)
 	}
 }
 

@@ -181,6 +181,26 @@ func (r *Registry) DerivedCounter(name, help string, fn func() uint64) {
 	})
 }
 
+// DerivedVec registers a labeled gauge family whose children are computed
+// at scrape time: fn returns the current value per label value. Built for
+// live estimates held outside the registry (the cluster proxy's per-backend
+// Little's-Law occupancy must be decayed to "now" at every scrape, which a
+// stored GaugeVec — integer-valued and only as fresh as its last Set —
+// cannot express).
+func (r *Registry) DerivedVec(name, help, label string, fn func() map[string]float64) {
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		vals := fn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n", n, label, EscapeLabelValue(k), vals[k])
+		}
+	})
+}
+
 // CounterVec is a family of counters keyed by label values.
 type CounterVec struct {
 	labels   []string
@@ -326,9 +346,42 @@ func labelKey(labels, values []string) string {
 		if i > 0 {
 			s += ","
 		}
-		s += fmt.Sprintf("%s=%q", l, values[i])
+		s += l + `="` + EscapeLabelValue(values[i]) + `"`
 	}
 	return s
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text exposition
+// format, which defines exactly three escapes inside a quoted label value:
+// backslash, double quote and line feed. Go's %q must not be used here — it
+// emits \xNN/\uNNNN sequences for control and non-ASCII bytes, which the
+// format does not define (label values are raw UTF-8).
+func EscapeLabelValue(v string) string {
+	// Fast path: nothing to escape (the common case for route/stream names).
+	i := 0
+	for ; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			break
+		}
+	}
+	if i == len(v) {
+		return v
+	}
+	var b []byte
+	b = append(b, v[:i]...)
+	for ; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
 }
 
 func writeHistogram(w io.Writer, name, labels string, h *Histogram) {

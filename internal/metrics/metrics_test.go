@@ -159,3 +159,78 @@ func TestGaugeVec(t *testing.T) {
 	}()
 	v.With("a", "b")
 }
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`quote"inside`, `quote\"inside`},
+		{"line\nbreak", `line\nbreak`},
+		{`back\slash`, `back\\slash`},
+		{"\\\"\n", `\\\"\n`},
+		// UTF-8 and control bytes pass through raw: the exposition format
+		// defines no \xNN/\uNNNN escapes, so Go's %q output is invalid here.
+		{"λ·W=ñ_avg", "λ·W=ñ_avg"},
+		{"tab\there", "tab\there"},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestLabelEscapingInExposition drives hostile stream names through a real
+// GaugeVec scrape: the rendered line must use only the three escapes the
+// Prometheus text format defines (\\, \", \n) and keep UTF-8 raw.
+func TestLabelEscapingInExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("subs", "per-stream subscribers", "stream")
+	v.With(`he said "hi"`).Set(1)
+	v.With("two\nlines").Set(2)
+	v.With("ünïcode-héllo").Set(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`subs{stream="he said \"hi\""} 1`,
+		`subs{stream="two\nlines"} 2`,
+		`subs{stream="ünïcode-héllo"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{`\x`, `\u`} {
+		if strings.Contains(out, bad) {
+			t.Errorf("invalid %q escape leaked into exposition:\n%s", bad, out)
+		}
+	}
+}
+
+func TestDerivedVec(t *testing.T) {
+	r := NewRegistry()
+	vals := map[string]float64{"b1": 2.5, "b0": 0.25}
+	r.DerivedVec("navg", "per-backend occupancy", "backend",
+		func() map[string]float64 { return vals })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Children render sorted and fresh from the callback.
+	i0 := strings.Index(out, `navg{backend="b0"} 0.25`)
+	i1 := strings.Index(out, `navg{backend="b1"} 2.5`)
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Fatalf("bad DerivedVec rendering:\n%s", out)
+	}
+	vals["b0"] = 7
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `navg{backend="b0"} 7`) {
+		t.Errorf("DerivedVec not recomputed at scrape:\n%s", sb.String())
+	}
+}

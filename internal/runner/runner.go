@@ -52,6 +52,16 @@ type Key struct {
 	SMTExponent float64
 }
 
+// String renders the key as a single stable line — the identity a routing
+// tier hashes on so identical analyses land on the backend whose runner
+// cache already holds the result. Two configs share a String exactly when
+// they share a cache entry.
+func (k Key) String() string {
+	return fmt.Sprintf("%s|%s|c%d|t%d|w%d|g%g|wf%g|ss%g|se%g",
+		k.Plat, k.Fingerprint, k.Cores, k.Threads, k.Window,
+		k.GapScale, k.WarmupFrac, k.SMTShare, k.SMTExponent)
+}
+
 // KeyOf canonicalizes cfg into its cache key. cacheable is false — and the
 // Key meaningless — when the config opted out of caching: an empty
 // Fingerprint (the generator's identity is unknown) or a ConfigureHierarchy

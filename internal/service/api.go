@@ -426,3 +426,25 @@ type TableResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// HealthzResponse is the readiness body GET /healthz returns. The endpoint
+// keeps its plain-200 liveness contract (it never returns non-200 while the
+// process serves); the body lets a cluster prober distinguish "up" from
+// "drowning" by reading the limiter's live Little's-Law occupancy.
+type HealthzResponse struct {
+	// Status is "ok", or "overloaded" when the admission controller's
+	// occupancy estimate has reached its ceiling (requests are queueing or
+	// shedding; the process is still alive).
+	Status  string `json:"status"`
+	Version string `json:"version"`
+	// LimiterNAvg is the admission controller's live n_avg = Σ λ·W
+	// (absent when admission control is disabled).
+	LimiterNAvg     *float64 `json:"limiter_navg,omitempty"`
+	LimiterCeiling  *float64 `json:"limiter_ceiling,omitempty"`
+	LimiterInflight int      `json:"limiter_inflight,omitempty"`
+	QueueDepth      int      `json:"queue_depth,omitempty"`
+	// ActiveStreams counts named /v1/watch brokers currently registered.
+	ActiveStreams int `json:"active_streams"`
+	// StreamClients counts live watch connections against the session cap.
+	StreamClients int `json:"stream_clients"`
+}

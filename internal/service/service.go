@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"littleslaw/internal/autotune"
+	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/core"
 	"littleslaw/internal/engine"
 	"littleslaw/internal/experiments"
@@ -68,6 +69,11 @@ type Config struct {
 	Platforms []string
 	// Registry receives the service metrics (nil = a fresh registry).
 	Registry *metrics.Registry
+	// SimRunner is the simulation spine this server's workload analyses run
+	// through (nil = runner.Default(), the process-wide cache). Tests that
+	// boot several in-process backends give each its own so cache-affinity
+	// effects are observable per server.
+	SimRunner *runner.Runner
 
 	// LimitCeiling is the admission controller's Little's-Law occupancy
 	// ceiling: requests are admitted while max(in-flight, λ·W) stays under
@@ -130,6 +136,9 @@ func (c *Config) normalize() {
 	}
 	if c.FaultInjector == nil {
 		c.FaultInjector = faults.Global()
+	}
+	if c.SimRunner == nil {
+		c.SimRunner = runner.Default()
 	}
 }
 
@@ -232,10 +241,11 @@ func New(cfg Config) *Server {
 			"Arrivals admitted by the limiter (immediately or after queueing).",
 			func() uint64 { return s.limiter.Snapshot().Admitted })
 	}
-	// The shared simulation spine's own instrumentation: every analyze /
-	// table / tune request bottoms out in runner.Default(), so its cache
-	// and occupancy telemetry belong on the service's scrape page.
-	runner.Default().Register(s.reg, "llserved_runner")
+	// The simulation spine's own instrumentation: analyze requests bottom
+	// out in the server's runner (runner.Default() unless the config
+	// isolated one — the table/tune pipelines always share the default), so
+	// its cache and occupancy telemetry belong on the service's scrape page.
+	cfg.SimRunner.Register(s.reg, "llserved_runner")
 	s.reg.Derived("llserved_faults_enabled",
 		"1 when the fault-injection layer is evaluating rules, 0 when it is a no-op.",
 		func() float64 {
@@ -590,9 +600,28 @@ func (s *Server) cacheEvent(cache string, hit bool) {
 // ---- handlers ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	hardenHeaders(w.Header(), "text/plain; charset=utf-8", false)
-	s.armWrite(w)
-	io.WriteString(w, "ok\n")
+	h := HealthzResponse{Status: "ok", Version: buildinfo.Version()}
+	if s.limiter != nil {
+		snap := s.limiter.Snapshot()
+		ceiling := s.limiter.Ceiling()
+		h.LimiterNAvg = &snap.NAvg
+		h.LimiterCeiling = &ceiling
+		h.LimiterInflight = snap.InFlight
+		h.QueueDepth = snap.QueueDepth
+		if snap.NAvg >= ceiling {
+			h.Status = "overloaded"
+		}
+	}
+	s.watchMu.Lock()
+	h.ActiveStreams = len(s.watches)
+	s.watchMu.Unlock()
+	if s.sessions != nil {
+		h.StreamClients = s.sessions.Active()
+	}
+	// Always 200: this is liveness plus telemetry, not a gate — the proxy's
+	// prober reads the body to weigh a drowning backend, existing checks
+	// keep their plain-200 contract (and "ok" still appears in the body).
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -675,7 +704,7 @@ func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*plat
 	if scale == 0 {
 		scale = 0.1
 	}
-	res, err := runner.Run(ctx, w.Config(p, threads, scale))
+	res, err := s.cfg.SimRunner.Run(ctx, w.Config(p, threads, scale))
 	if err != nil {
 		return nil, core.Measurement{}, nil, nil, err
 	}

@@ -78,6 +78,48 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestHealthzReadinessBody pins the JSON readiness contract cluster probes
+// rely on: status, live limiter occupancy, stream accounting and version —
+// while the plain 200-with-"ok" liveness contract above keeps holding.
+func TestHealthzReadinessBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{LimitCeiling: 8})
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+	var h HealthzResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.Version == "" {
+		t.Error("version missing")
+	}
+	if h.LimiterNAvg == nil || *h.LimiterNAvg < 0 {
+		t.Errorf("limiter_navg = %v, want present and non-negative", h.LimiterNAvg)
+	}
+	if h.LimiterCeiling == nil || *h.LimiterCeiling != 8 {
+		t.Errorf("limiter_ceiling = %v, want 8", h.LimiterCeiling)
+	}
+	if h.ActiveStreams != 0 || h.StreamClients != 0 {
+		t.Errorf("stream accounting = %d/%d, want 0/0", h.ActiveStreams, h.StreamClients)
+	}
+
+	// Admission control disabled: the limiter fields disappear, status
+	// stays ok.
+	_, ts2 := newTestServer(t, Config{LimitCeiling: -1})
+	_, body2 := get(t, ts2, "/healthz")
+	var h2 HealthzResponse
+	if err := json.Unmarshal(body2, &h2); err != nil {
+		t.Fatalf("healthz body is not JSON: %v\n%s", err, body2)
+	}
+	if h2.LimiterNAvg != nil || h2.LimiterCeiling != nil {
+		t.Errorf("limiter fields present with admission disabled: %s", body2)
+	}
+}
+
 func TestPlatforms(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, body := get(t, ts, "/v1/platforms")
