@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/ ./internal/cluster/
+RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/ ./internal/cluster/ ./internal/trace/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest cluster-demo
+.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest cluster-demo trace-demo
 
 all: check
 
@@ -128,6 +128,29 @@ cluster-demo:
 	echo "== llproxy per-backend view =="; \
 	curl -sf http://127.0.0.1:$(CLUSTER_PORT)/metrics | grep -E '^llproxy_(backend|requests|affinity|hedges|failovers)' || true; \
 	exit $$code
+
+# trace-demo shows the per-request latency decomposition end to end: boot
+# llserved, drive it briefly with llload (same analysis identity, so the
+# slowest request is the cache-miss that paid the sim kernel), then fetch
+# that request's waterfall from /v1/trace/{id} and the per-stage
+# Little's-Law metrics the trace sink derives.
+TRACE_ADDR ?= 127.0.0.1:8141
+TRACE_DURATION ?= 3s
+
+trace-demo:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./cmd/llserved ./cmd/llload || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/llserved -addr $(TRACE_ADDR) -paper-profiles -trace-capacity 1024 & \
+	srv=$$!; trap 'kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; rm -rf '"$$tmp" EXIT; \
+	sleep 1; \
+	$$tmp/llload -url http://$(TRACE_ADDR)/v1/analyze -c 4 -n 1000 -duration $(TRACE_DURATION) \
+		-body '{"platform":"SKL","workload":"ISx","scale":0.02}' | tee $$tmp/out; \
+	id=$$(sed -n 's/.*slowest request \([0-9a-f]*\) .*/\1/p' $$tmp/out); \
+	[ -n "$$id" ] || { echo "trace-demo: no trace id captured"; exit 1; }; \
+	echo "== GET /v1/trace/$$id =="; \
+	curl -sf http://$(TRACE_ADDR)/v1/trace/$$id; \
+	echo "== per-stage Little's Law =="; \
+	curl -sf http://$(TRACE_ADDR)/metrics | grep '^llserved_trace_stage' || true
 
 # check is the tier-1 gate plus the race and chaos jobs.
 check: vet build test race test-chaos

@@ -134,6 +134,9 @@ func main() {
 	if res.RetryAfterSeen > 0 {
 		fmt.Printf("llload: %d sheds carried Retry-After hints\n", res.RetryAfterSeen)
 	}
+	if id, lat := res.SlowestTrace(); id != "" {
+		fmt.Printf("llload: slowest request %s took %s — GET /v1/trace/%s for its waterfall\n", id, lat.Round(time.Millisecond), id)
+	}
 	if res.OK == 0 && res.Sent > 0 {
 		os.Exit(1)
 	}

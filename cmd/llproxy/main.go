@@ -17,9 +17,14 @@
 //
 // Endpoints mirror llserved's /v1/* surface, plus:
 //
-//	GET /healthz    per-backend breaker state, health and occupancy estimates
-//	GET /metrics    llproxy_* per-backend metrics (requests, breaker state,
-//	                estimated and reported n_avg, hedges, failovers)
+//	GET /healthz        per-backend breaker state, health and occupancy estimates
+//	GET /metrics        llproxy_* per-backend metrics (requests, breaker state,
+//	                    estimated and reported n_avg, hedges, failovers)
+//	GET /v1/trace/{id}  the proxy's own waterfall for one forwarded request
+//	GET /v1/traces      NDJSON tail of the proxy's finished traces
+//
+// Forwarded responses carry the proxy's X-Trace-Id/X-Trace-Summary plus
+// X-Backend-Trace-Id, the backend's own trace id for its /v1/trace ring.
 //
 // /v1/faults fans out to every backend so one call arms or disarms chaos
 // across the fleet. Shutdown is graceful: SIGINT/SIGTERM stop the listener
@@ -40,6 +45,7 @@ import (
 
 	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/cluster"
+	"littleslaw/internal/debugmux"
 	"littleslaw/internal/faults"
 )
 
@@ -59,6 +65,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	faultSpec := flag.String("faults", "", "fault-injection spec for the proxy's own sites, e.g. 'seed=1;cluster.forward=error:0.1'")
+	traceCapacity := flag.Int("trace-capacity", 0, "finished forward traces retained for GET /v1/trace/{id} (0 = 256)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback admin address (e.g. "+debugmux.DefaultAddr+"; empty = disabled)")
 	seed := flag.Int64("seed", 0, "deterministic backoff jitter seed (0 = from the clock)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -97,6 +105,7 @@ func main() {
 		HedgeDelay:        *hedgeDelay,
 		ClientTimeout:     *clientTimeout,
 		ClientMaxAttempts: *clientAttempts,
+		TraceCapacity:     *traceCapacity,
 		Seed:              *seed,
 	})
 	if err != nil {
@@ -104,6 +113,15 @@ func main() {
 	}
 	p.Start()
 	defer p.Close()
+
+	if *pprofAddr != "" {
+		got, closePprof, err := debugmux.Serve(*pprofAddr)
+		if err != nil {
+			log.Fatalf("llproxy: -pprof: %v", err)
+		}
+		defer closePprof()
+		log.Printf("llproxy: pprof on http://%s/debug/pprof/", got)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -31,6 +31,13 @@
 //	GET  /v1/watch/{stream}          subscribe to a named stream
 //	GET  /v1/faults                  fault-injection state and tallies
 //	POST /v1/faults                  reconfigure or toggle fault injection
+//	GET  /v1/trace/{id}              one request's latency waterfall (JSON)
+//	GET  /v1/traces?max=N            NDJSON tail of finished traces
+//
+// Every /v1/* response carries X-Trace-Id (fetchable from /v1/trace/{id})
+// and X-Trace-Summary, a one-line queue+service waterfall. -pprof serves
+// net/http/pprof on a loopback admin port for correlating traces with
+// CPU profiles.
 //
 // All endpoints accept ?timeout=30s. The /v1/* routes sit behind an
 // admission controller that applies the paper's own law to the server:
@@ -53,6 +60,7 @@ import (
 	"time"
 
 	"littleslaw/internal/buildinfo"
+	"littleslaw/internal/debugmux"
 	"littleslaw/internal/experiments"
 	"littleslaw/internal/faults"
 	"littleslaw/internal/platform"
@@ -76,6 +84,8 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-write response deadline, re-armed before every write (bounds stalled clients without cutting long-lived streams)")
 	faultSpec := flag.String("faults", "", "fault-injection spec, e.g. 'seed=42;handler.*=error:0.2;runner.run=latency:0.1:50ms' (empty = faults off; runtime control via /v1/faults)")
+	traceCapacity := flag.Int("trace-capacity", 0, "finished request traces retained for GET /v1/trace/{id} (0 = 256)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback admin address (e.g. "+debugmux.DefaultAddr+"; empty = disabled)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -92,6 +102,7 @@ func main() {
 		LimitQueueTimeout: *limitQueueTimeout,
 		MaxStreamClients:  *maxStreams,
 		WriteTimeout:      *writeTimeout,
+		TraceCapacity:     *traceCapacity,
 	}
 	if *paperProfiles {
 		cfg.ProfileFor = func(_ context.Context, p *platform.Platform) (*queueing.Curve, error) {
@@ -109,6 +120,15 @@ func main() {
 		log.Printf("llserved: fault injection armed (%s)", faults.FormatSpec(seed, rules))
 	}
 	srv := service.New(cfg)
+
+	if *pprofAddr != "" {
+		got, closePprof, err := debugmux.Serve(*pprofAddr)
+		if err != nil {
+			log.Fatalf("llserved: -pprof: %v", err)
+		}
+		defer closePprof()
+		log.Printf("llserved: pprof on http://%s/debug/pprof/", got)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

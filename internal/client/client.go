@@ -204,9 +204,12 @@ func (c *Client) earn() {
 // backoffDelay computes the attempt'th retry sleep: the server's hint when
 // it gave one (capped at MaxRetryAfter), otherwise capped exponential
 // backoff with full jitter — a uniform draw in (0, cap], so synchronized
-// clients desynchronize.
+// clients desynchronize. A non-positive hint (a server sending
+// "Retry-After: 0") is treated as unhinted: honoring it literally would
+// yield a zero sleep and a tight retry loop against a server that just
+// declared itself overloaded.
 func (c *Client) backoffDelay(attempt int, hinted bool, hint time.Duration) time.Duration {
-	if hinted {
+	if hinted && hint > 0 {
 		return min(hint, c.cfg.MaxRetryAfter)
 	}
 	ceil := c.cfg.Backoff << (attempt - 1)
@@ -435,7 +438,7 @@ func (c *Client) Stream(ctx context.Context, path string, fn func(line []byte) e
 			}
 			return fmt.Errorf("client: GET %s: gave up after %d attempts", path, attempt)
 		}
-		if !sleep(ctx, c.backoffDelay(attempt, hinted && hint > 0, hint)) {
+		if !sleep(ctx, c.backoffDelay(attempt, hinted, hint)) {
 			return ctx.Err()
 		}
 	}

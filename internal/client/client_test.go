@@ -495,3 +495,106 @@ func TestNewRequiresBaseURL(t *testing.T) {
 		t.Fatal("New with no BaseURL should fail")
 	}
 }
+
+// TestBackoffDelayIgnoresNonPositiveHint pins the Retry-After: 0 guard in
+// backoffDelay itself: a non-positive hint must fall through to jittered
+// backoff (honoring it literally meant a zero sleep and a tight retry loop
+// against an overloaded server), while a positive hint is still honored.
+// Both Do and Stream route their sleeps through here, so this covers both.
+func TestBackoffDelayIgnoresNonPositiveHint(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:       "http://localhost",
+		Backoff:       10 * time.Millisecond,
+		MaxBackoff:    80 * time.Millisecond,
+		MaxRetryAfter: time.Minute,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		hinted bool
+		hint   time.Duration
+	}{
+		{"zero hint", true, 0},
+		{"negative hint", true, -time.Second},
+		{"unhinted", false, 0},
+	} {
+		if d := c.backoffDelay(1, tc.hinted, tc.hint); d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("%s: delay %v, want jittered backoff in (0, MaxBackoff]", tc.name, d)
+		}
+	}
+	if d := c.backoffDelay(1, true, 5*time.Second); d != 5*time.Second {
+		t.Fatalf("positive hint: delay %v, want the hint verbatim", d)
+	}
+	if d := c.backoffDelay(1, true, 10*time.Minute); d != time.Minute {
+		t.Fatalf("huge hint: delay %v, want the MaxRetryAfter cap", d)
+	}
+}
+
+// TestDoRetryAfterZeroStillBacksOff is the Do-path regression: a server
+// shedding with Retry-After: 0 used to produce zero-delay retries. With
+// the guard, each retry sleeps the configured backoff instead.
+func TestDoRetryAfterZeroStillBacksOff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) {
+		cfg.MaxAttempts = 3
+		cfg.Backoff = 30 * time.Millisecond
+		cfg.MaxBackoff = 30 * time.Millisecond
+	})
+	begin := time.Now()
+	res, err := c.Do(context.Background(), http.MethodGet, "/x", "", nil)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Status != http.StatusOK || res.Attempts != 3 {
+		t.Fatalf("status=%d attempts=%d, want 200 on attempt 3", res.Status, res.Attempts)
+	}
+	// Two retries, each a uniform draw in (0, 30ms]: with the bug both
+	// sleeps were exactly zero and the whole exchange took microseconds.
+	if elapsed := time.Since(begin); elapsed < 2*time.Millisecond {
+		t.Fatalf("elapsed = %v: Retry-After: 0 produced a tight retry loop", elapsed)
+	}
+}
+
+// TestStreamRetryAfterZeroStillBacksOff pins the Stream path, whose
+// call-site guard moved into backoffDelay.
+func TestStreamRetryAfterZeroStillBacksOff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"stream limit"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"seq":0}`+"\n")
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, func(cfg *Config) {
+		cfg.Backoff = 30 * time.Millisecond
+		cfg.MaxBackoff = 30 * time.Millisecond
+	})
+	begin := time.Now()
+	var got int
+	if err := c.Stream(context.Background(), "/v1/watch/x", func([]byte) error { got++; return nil }); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if got != 1 || calls.Load() != 3 {
+		t.Fatalf("got=%d calls=%d, want the line after 2 connect retries", got, calls.Load())
+	}
+	if elapsed := time.Since(begin); elapsed < 2*time.Millisecond {
+		t.Fatalf("elapsed = %v: Retry-After: 0 produced a tight reconnect loop", elapsed)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"littleslaw/internal/faults"
 	"littleslaw/internal/metrics"
 	"littleslaw/internal/service"
+	"littleslaw/internal/stream"
+	"littleslaw/internal/trace"
 )
 
 // The cluster tier's fault-injection sites: ForwardFaultSite is evaluated
@@ -87,6 +89,9 @@ type Config struct {
 	ClientMaxAttempts int
 	// Seed makes backend-client backoff jitter deterministic (0 = clock).
 	Seed int64
+	// TraceCapacity bounds the ring of finished forward traces served by
+	// GET /v1/trace/{id} and GET /v1/traces (0 = trace.DefaultCapacity).
+	TraceCapacity int
 	// Registry receives the proxy metrics (nil = a fresh registry).
 	Registry *metrics.Registry
 	// FaultInjector backs the cluster.* sites (nil = faults.Global()).
@@ -152,6 +157,9 @@ type Proxy struct {
 	order    []*Backend // stable name order, for deterministic iteration
 	mux      *http.ServeMux
 
+	traces      *trace.Sink
+	traceBroker *stream.BrokerOf[trace.Record]
+
 	requests      *metrics.CounterVec
 	latency       *metrics.HistogramVec
 	inflight      *metrics.Gauge
@@ -179,6 +187,10 @@ func New(cfg Config) (*Proxy, error) {
 		backends: make(map[string]*Backend, len(cfg.Backends)),
 		stop:     make(chan struct{}),
 	}
+	p.traces = trace.NewSink(cfg.TraceCapacity)
+	p.traceBroker = stream.NewBrokerOf[trace.Record](cfg.TraceCapacity,
+		func(rec *trace.Record, seq int) { rec.Seq = seq })
+	p.traces.OnFinish = func(t *trace.Trace) { p.traceBroker.Publish(trace.Record{Trace: t.View()}) }
 	names := make([]string, 0, len(cfg.Backends))
 	for i, raw := range cfg.Backends {
 		u, err := url.Parse(raw)
@@ -295,6 +307,9 @@ func (p *Proxy) registerMetrics() {
 	p.reg.Derived("llproxy_littles_law_concurrency",
 		"The proxy's own n_avg from Little's Law: forwarded latency_sum over uptime.",
 		func() float64 { return p.reg.LittleConcurrency(p.latency) })
+	// Per-stage decomposition of the proxy's own W: route selection,
+	// forward attempts, hedge/failover markers.
+	p.traces.Register(p.reg, "llproxy_trace")
 }
 
 func (p *Proxy) routes() {
@@ -312,6 +327,15 @@ func (p *Proxy) routes() {
 	p.mux.Handle("GET /v1/watch/{stream}", http.HandlerFunc(p.handleWatchSubscribe))
 	p.mux.Handle("GET /v1/faults", http.HandlerFunc(p.handleFaultsFanout))
 	p.mux.Handle("POST /v1/faults", http.HandlerFunc(p.handleFaultsFanout))
+	// The proxy's own trace ring — forward/route/hedge spans, not the
+	// backends' (each llserved serves its own /v1/trace; the
+	// X-Backend-Trace-Id response header links the two tiers).
+	p.mux.Handle("GET /v1/trace/{id}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		service.ServeTrace(w, r, p.traces)
+	}))
+	p.mux.Handle("GET /v1/traces", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		service.ServeTraceTail(w, r, p.traceBroker, nil)
+	}))
 }
 
 // Handler returns the proxy's HTTP handler.
@@ -418,7 +442,11 @@ func (p *Proxy) probe(ctx context.Context, b *Backend) {
 // then the remaining eligible backends by ascending load. Pinned requests
 // (streams) always put the owner first — a subscriber must reach the
 // broker's host — and only breaker ineligibility reroutes them.
-func (p *Proxy) candidates(key string, pinned bool) []*Backend {
+//
+// The decision string names which rule chose the head candidate — "owner"
+// (affinity), "pinned", "spill" (owner over the occupancy ceiling),
+// "load" (no affinity identity) — and becomes the trace's route span.
+func (p *Proxy) candidates(key string, pinned bool) ([]*Backend, string) {
 	now := p.cfg.Now()
 	type cand struct {
 		b    *Backend
@@ -431,7 +459,7 @@ func (p *Proxy) candidates(key string, pinned bool) []*Backend {
 		}
 	}
 	if len(elig) == 0 {
-		return nil
+		return nil, ""
 	}
 	sort.SliceStable(elig, func(i, j int) bool { return elig[i].load < elig[j].load })
 	out := make([]*Backend, len(elig))
@@ -439,7 +467,7 @@ func (p *Proxy) candidates(key string, pinned bool) []*Backend {
 		out[i] = c.b
 	}
 	if key == "" {
-		return out
+		return out, "load"
 	}
 	owner, ok := p.ring.OwnerWhere(key, func(name string) bool {
 		for _, c := range elig {
@@ -450,7 +478,7 @@ func (p *Proxy) candidates(key string, pinned bool) []*Backend {
 		return false
 	})
 	if !ok {
-		return out
+		return out, "load"
 	}
 	oi := 0
 	for i, b := range out {
@@ -466,14 +494,17 @@ func (p *Proxy) candidates(key string, pinned bool) []*Backend {
 		if oi != 0 {
 			p.overrides.Inc()
 		}
-		return out
+		return out, "spill"
 	}
 	if oi != 0 {
 		b := out[oi]
 		copy(out[1:oi+1], out[:oi])
 		out[0] = b
 	}
-	return out
+	if pinned {
+		return out, "pinned"
+	}
+	return out, "owner"
 }
 
 // affinityKey derives the routing identity for a unary route from the
@@ -525,20 +556,36 @@ func (p *Proxy) unary(route string, hedgeable bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		p.inflight.Inc()
 		defer p.inflight.Dec()
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes))
+		start := time.Now()
+		tr := p.traces.Start(route)
+		w.Header().Set("X-Trace-Id", tr.ID())
+		sw := &summaryWriter{ResponseWriter: w, tr: tr}
+		defer func() {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			tr.Finish(status, time.Since(start))
+			p.traces.Done(tr)
+		}()
+		r = r.WithContext(trace.NewContext(r.Context(), tr))
+		body, err := io.ReadAll(http.MaxBytesReader(sw, r.Body, service.MaxBodyBytes))
 		if err != nil {
-			p.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			p.writeError(sw, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 			return
 		}
-		if !p.forwardFault(w, r) {
+		if !p.forwardFault(sw, r) {
 			return
 		}
 		key := affinityKey(route, r, body)
-		cands := p.candidates(key, false)
+		cands, decision := p.candidates(key, false)
 		if len(cands) == 0 {
-			p.shedNoBackend(w)
+			p.shedNoBackend(sw)
 			return
 		}
+		// The routing decision as a zero-duration marker span: which rule
+		// won and which backend leads the candidate order.
+		tr.Add("route", decision+" "+cands[0].Name, 0, 0)
 		path := forwardPath(r)
 		var res *client.Result
 		if hedgeable && r.Method == http.MethodGet && p.cfg.HedgeDelay > 0 && len(cands) > 1 {
@@ -554,12 +601,40 @@ func (p *Proxy) unary(route string, hedgeable bool) http.Handler {
 			if err == nil {
 				err = fmt.Errorf("no backend produced a response")
 			}
-			p.writeError(w, status, fmt.Errorf("forwarding failed: %w", err))
+			p.writeError(sw, status, fmt.Errorf("forwarding failed: %w", err))
 			return
 		}
-		p.respond(w, res)
+		p.respond(sw, res)
 	})
 }
+
+// summaryWriter records the first status written and stamps the
+// X-Trace-Summary header at that moment — the spans recorded so far —
+// before headers go out.
+type summaryWriter struct {
+	http.ResponseWriter
+	tr     *trace.Trace
+	status int
+}
+
+func (w *summaryWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+		w.ResponseWriter.Header().Set("X-Trace-Summary", w.tr.Summary())
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *summaryWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/SetWriteDeadline, which the stream relay depends on.
+func (w *summaryWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // forwardFault evaluates the cluster.forward site; false means the request
 // was answered (injected error) and must not be forwarded.
@@ -608,6 +683,7 @@ func (p *Proxy) sequential(ctx context.Context, cands []*Backend, method, path, 
 	for i, b := range cands {
 		if i > 0 {
 			p.failovers.Inc()
+			trace.Add(ctx, "failover", b.Name, 0, 0)
 		}
 		res, err := p.tryBackend(ctx, b, method, path, contentType, body)
 		if err != nil {
@@ -659,6 +735,7 @@ func (p *Proxy) hedged(ctx context.Context, cands []*Backend, path string) (*cli
 			// primary; failures below may still walk further candidates.
 			if next < len(cands) && next < 2 {
 				p.hedges.Inc()
+				trace.Add(ctx, "hedge", cands[next].Name, 0, 0)
 				fire()
 				pending++
 			}
@@ -670,6 +747,7 @@ func (p *Proxy) hedged(ctx context.Context, cands []*Backend, path string) (*cli
 			last = o
 			if next < len(cands) {
 				p.failovers.Inc()
+				trace.Add(ctx, "failover", cands[next].Name, 0, 0)
 				fire()
 				pending++
 			} else if pending == 0 {
@@ -692,10 +770,12 @@ func (p *Proxy) tryBackend(ctx context.Context, b *Backend, method, path, conten
 			// A canceled hedge lane or an expired request says nothing
 			// about the backend's health.
 			p.requests.With(b.Name, "canceled").Inc()
+			trace.Add(ctx, "forward", b.Name+" canceled", 0, elapsed)
 			return nil, err
 		}
 		b.failure(p.cfg.Now())
 		p.requests.With(b.Name, "error").Inc()
+		trace.Add(ctx, "forward", b.Name+" error", 0, elapsed)
 		return nil, err
 	}
 	// Any HTTP response — a shed, even a 500 — proves the process is alive;
@@ -703,6 +783,10 @@ func (p *Proxy) tryBackend(ctx context.Context, b *Backend, method, path, conten
 	b.success()
 	p.latency.With(b.Name).Observe(elapsed.Seconds())
 	p.requests.With(b.Name, outcomeOf(res.Status)).Inc()
+	// Forward attempts are leaf spans with the measured wall time: hedge
+	// lanes run concurrently, so a hedged trace's forward spans may sum
+	// past the request's W by design (work time, not wall time).
+	trace.Add(ctx, "forward", b.Name+" "+outcomeOf(res.Status), 0, elapsed)
 	return res, nil
 }
 
@@ -732,6 +816,12 @@ func (p *Proxy) respond(w http.ResponseWriter, res *client.Result) {
 		if v := res.Header.Get(k); v != "" {
 			h.Set(k, v)
 		}
+	}
+	// The backend's own trace id, relayed under a distinct name so one
+	// response links both tiers' waterfalls (the proxy's X-Trace-Id is its
+	// own; fetch the backend's from that backend's /v1/trace).
+	if v := res.Header.Get("X-Trace-Id"); v != "" {
+		h.Set("X-Backend-Trace-Id", v)
 	}
 	w.WriteHeader(res.Status)
 	w.Write(res.Body)
@@ -782,14 +872,14 @@ func (p *Proxy) handleWatchPost(w http.ResponseWriter, r *http.Request) {
 	if json.Unmarshal(body, &probe) == nil && probe.Stream != "" {
 		key = service.StreamAffinityKey(probe.Stream)
 	}
-	p.forwardStream(w, r, key, key != "", body)
+	p.forwardStream(w, r, "watch", key, key != "", body)
 }
 
 // handleWatchSubscribe routes GET /v1/watch/{stream} to the stream's
 // pinned owner.
 func (p *Proxy) handleWatchSubscribe(w http.ResponseWriter, r *http.Request) {
 	key := service.StreamAffinityKey(r.PathValue("stream"))
-	p.forwardStream(w, r, key, true, nil)
+	p.forwardStream(w, r, "watch_subscribe", key, true, nil)
 }
 
 // forwardStream proxies a long-lived NDJSON/SSE connection: raw
@@ -798,18 +888,32 @@ func (p *Proxy) handleWatchSubscribe(w http.ResponseWriter, r *http.Request) {
 // stream). Stream lifetimes do not feed the λ·W estimator: a healthy
 // stream lasts as long as its client, which says nothing about backend
 // service time. They are accounted by llproxy_stream_clients instead.
-func (p *Proxy) forwardStream(w http.ResponseWriter, r *http.Request, key string, pinned bool, body []byte) {
+func (p *Proxy) forwardStream(w http.ResponseWriter, r *http.Request, route, key string, pinned bool, body []byte) {
 	p.inflight.Inc()
 	defer p.inflight.Dec()
+	start := time.Now()
+	tr := p.traces.Start(route)
+	w.Header().Set("X-Trace-Id", tr.ID())
+	sw := &summaryWriter{ResponseWriter: w, tr: tr}
+	w = sw
+	defer func() {
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		tr.Finish(status, time.Since(start))
+		p.traces.Done(tr)
+	}()
 	if !p.forwardFault(w, r) {
 		return
 	}
-	cands := p.candidates(key, pinned)
+	cands, decision := p.candidates(key, pinned)
 	if len(cands) == 0 {
 		p.shedNoBackend(w)
 		return
 	}
 	b := cands[0]
+	tr.Add("route", decision+" "+b.Name, 0, 0)
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.URL+forwardPath(r), bytes.NewReader(body))
 	if err != nil {
 		p.writeError(w, http.StatusInternalServerError, err)
@@ -820,18 +924,23 @@ func (p *Proxy) forwardStream(w http.ResponseWriter, r *http.Request, key string
 			req.Header.Set(k, v)
 		}
 	}
+	connStart := time.Now()
 	resp, err := b.httpc.Do(req)
 	if err != nil {
 		if r.Context().Err() == nil {
 			b.failure(p.cfg.Now())
 		}
 		p.requests.With(b.Name, "error").Inc()
+		tr.Add("forward", b.Name+" error", 0, time.Since(connStart))
 		p.writeError(w, http.StatusBadGateway, fmt.Errorf("stream to %s failed: %w", b.Name, err))
 		return
 	}
 	defer resp.Body.Close()
 	b.success()
 	p.requests.With(b.Name, "stream").Inc()
+	// Connection setup only: the stream's lifetime is its client's, not a
+	// latency worth decomposing (mirrors the λ·W exclusion above).
+	tr.Add("forward", b.Name+" stream", 0, time.Since(connStart))
 
 	h := w.Header()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {

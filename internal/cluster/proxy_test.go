@@ -198,7 +198,8 @@ func TestProxyFailoverOnServerError(t *testing.T) {
 	ts := httptest.NewServer(p.Handler())
 	defer ts.Close()
 
-	first := p.candidates("", false)[0]
+	cands, _ := p.candidates("", false)
+	first := cands[0]
 	stubByName(stubs, first.Name).status.Store(http.StatusInternalServerError)
 
 	// No affinity key (unknown platform): routed purely by load.

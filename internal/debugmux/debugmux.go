@@ -1,0 +1,51 @@
+// Package debugmux is the admin/profiling side-channel for the server
+// binaries: a net/http/pprof mux on its own listener, so CPU and heap
+// profiles can be correlated with the wall-clock waterfalls the trace
+// layer records (a stage with high service time but no queue wait is a
+// CPU problem — the profile says where; high queue wait is a capacity
+// problem — the trace says which resource).
+//
+// The listener is a separate server on purpose: profiles must never share
+// a port with the data plane (pprof handlers are unauthenticated and can
+// run for 30s+), and the default address is loopback so enabling the flag
+// does not expose them off-host.
+package debugmux
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DefaultAddr is the loopback address the -pprof flag documents.
+const DefaultAddr = "127.0.0.1:6060"
+
+// Handler returns a mux with the net/http/pprof suite mounted at
+// /debug/pprof/, the same layout the pprof tool expects.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr ("" = DefaultAddr) and serves the pprof mux on it in a
+// background goroutine. It returns the bound address (useful with ":0")
+// and a closer that stops the listener. No WriteTimeout: a 30s CPU
+// profile is a legitimately slow response.
+func Serve(addr string) (string, func() error, error) {
+	if addr == "" {
+		addr = DefaultAddr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -19,8 +19,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"littleslaw/internal/faults"
+	"littleslaw/internal/trace"
 )
 
 // FaultSite is the engine's fault-injection point, evaluated once per
@@ -109,7 +111,11 @@ func Map[T any](ctx context.Context, p *Pool, jobs []func(context.Context) (T, e
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			// Serial jobs wait only on their predecessors, whose spans
+			// already account that time — record service, not queue.
+			a := trace.Begin(ctx, "engine")
 			v, err := protect(ctx, job)
+			a.End("job")
 			if err != nil {
 				return nil, err
 			}
@@ -120,6 +126,7 @@ func Map[T any](ctx context.Context, p *Pool, jobs []func(context.Context) (T, e
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	mapStart := time.Now()
 	errs := make([]error, len(jobs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -136,7 +143,14 @@ func Map[T any](ctx context.Context, p *Pool, jobs []func(context.Context) (T, e
 					errs[i] = err
 					continue
 				}
+				// Pool wait: how long the job sat before a worker picked it
+				// up. Fan-out spans measure work time, not wall time — a
+				// traced parallel section legitimately sums past its
+				// request's W (see the trace package doc).
+				a := trace.Begin(ctx, "engine")
+				a.SetQueue(time.Since(mapStart))
 				v, err := protect(ctx, jobs[i])
+				a.End("job")
 				if err != nil {
 					errs[i] = err
 					cancel()

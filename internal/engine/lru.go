@@ -4,6 +4,9 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
+
+	"littleslaw/internal/trace"
 )
 
 // LRU is a bounded Group: singleflight deduplication plus least-recently-
@@ -50,9 +53,18 @@ func (l *LRU[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, 
 			l.mu.Unlock()
 			select {
 			case <-f.done:
-			case <-ctx.Done():
-				var zero V
-				return zero, true, ctx.Err()
+				// Already resolved: a pure hit, no wait worth a span.
+			default:
+				// Joining another caller's in-flight computation is queue
+				// wait — the singleflight flavor of pool wait.
+				join := time.Now()
+				select {
+				case <-f.done:
+					trace.Add(ctx, "engine", "join", time.Since(join), 0)
+				case <-ctx.Done():
+					var zero V
+					return zero, true, ctx.Err()
+				}
 			}
 			if f.err == nil {
 				return f.val, true, nil
@@ -71,11 +83,13 @@ func (l *LRU[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, 
 		l.evictLocked()
 		l.mu.Unlock()
 
+		a := trace.Begin(ctx, "engine")
 		f.val, f.err = protect(ctx, fn)
 		if f.err != nil {
 			l.remove(key, f)
 		}
 		close(f.done)
+		a.End("compute")
 		return f.val, false, f.err
 	}
 }

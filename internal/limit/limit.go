@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"littleslaw/internal/faults"
+	"littleslaw/internal/trace"
 )
 
 // FaultSite is the admission path's fault-injection point, evaluated once
@@ -187,6 +188,24 @@ func (l *Limiter) Ceiling() float64 { return l.cfg.Ceiling }
 // A denial returns a *ShedError (matching ErrShed) when the limiter shed
 // the request, or the context's error when ctx expired while queued.
 func (l *Limiter) Acquire(ctx context.Context, route string) (release func(), waited bool, err error) {
+	// The whole Acquire is queue wait from the request's point of view:
+	// record it as the "limit" stage of the request's trace, noted with
+	// the admission decision. Untraced requests pay one context lookup.
+	if tr := trace.FromContext(ctx); tr != nil {
+		entered := time.Now()
+		defer func() {
+			note := "admitted"
+			switch {
+			case errors.Is(err, ErrShed):
+				note = "shed"
+			case err != nil:
+				note = "expired"
+			case waited:
+				note = "queued"
+			}
+			tr.Add("limit", note, time.Since(entered), 0)
+		}()
+	}
 	if f := faults.Global().Eval(FaultSite); f.Kind == faults.KindLatency {
 		f.Sleep(ctx)
 		if err := ctx.Err(); err != nil {

@@ -225,8 +225,20 @@ type Result struct {
 	Elapsed time.Duration
 	// latencies holds one sample per successful request.
 	latencies []time.Duration
+	// slowestTrace is the X-Trace-Id of the slowest successful request —
+	// the waterfall worth pulling from /v1/trace/{id} after a run.
+	slowestTrace string
+	slowestLat   time.Duration
 	// perTarget holds the per-target breakdown, in Options.Targets order.
 	perTarget []*TargetCounts
+}
+
+// SlowestTrace returns the X-Trace-Id of the slowest successful request
+// and its latency ("" when none succeeded or the server does not trace).
+func (r *Result) SlowestTrace() (string, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slowestTrace, r.slowestLat
 }
 
 // PerTarget snapshots the per-target breakdown, in Options.Targets order.
@@ -241,23 +253,30 @@ func (r *Result) PerTarget() []TargetCounts {
 	return out
 }
 
-// Quantile returns the q-th latency quantile (q in [0, 1]) of successful
-// requests, or 0 when none succeeded.
+// Quantile returns the q-th latency quantile of successful requests, or 0
+// when none succeeded. q is clamped into [0, 1] — q <= 0 is the minimum,
+// q >= 1 the maximum — and a NaN q returns 0: both out-of-range conversions
+// from float to int are platform-defined in Go, so neither may reach the
+// index arithmetic. Samples are copied and sorted here, because
+// multi-target runs interleave their latencies in completion order.
 func (r *Result) Quantile(q float64) time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.latencies) == 0 {
+	if len(r.latencies) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	s := make([]time.Duration, len(r.latencies))
 	copy(s, r.latencies)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
 	i := int(math.Ceil(q*float64(len(s)))) - 1
 	if i < 0 {
 		i = 0
-	}
-	if i >= len(s) {
-		i = len(s) - 1
 	}
 	return s[i]
 }
@@ -434,7 +453,14 @@ func arrival(ctx context.Context, tg *target, o *Options, res *Result) {
 	}, 0)
 	switch {
 	case cr.Status >= 200 && cr.Status < 300:
-		res.record(func(r *Result) { r.OK++; tg.counts.OK++ }, cr.Latency)
+		traceID := cr.Header.Get("X-Trace-Id")
+		res.record(func(r *Result) {
+			r.OK++
+			tg.counts.OK++
+			if traceID != "" && cr.Latency >= r.slowestLat {
+				r.slowestTrace, r.slowestLat = traceID, cr.Latency
+			}
+		}, cr.Latency)
 	case cr.Status == http.StatusTooManyRequests:
 		res.record(func(r *Result) { r.Shed++; tg.counts.Shed++ }, 0)
 	default:

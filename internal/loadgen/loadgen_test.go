@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -371,25 +373,84 @@ func TestSameSeedRunsOfferIdenticalLoad(t *testing.T) {
 }
 
 func TestQuantile(t *testing.T) {
+	// Samples appended in completion order, deliberately unsorted — the
+	// interleaving a multi-target run produces.
 	r := &Result{}
 	for _, ms := range []int{50, 10, 30, 20, 40} {
 		r.latencies = append(r.latencies, time.Duration(ms)*time.Millisecond)
 	}
+	single := &Result{latencies: []time.Duration{7 * time.Millisecond}}
 	cases := []struct {
+		name string
+		r    *Result
 		q    float64
 		want time.Duration
 	}{
-		{0.0, 10 * time.Millisecond},
-		{0.5, 30 * time.Millisecond},
-		{0.99, 50 * time.Millisecond},
-		{1.0, 50 * time.Millisecond},
+		{"min", r, 0.0, 10 * time.Millisecond},
+		{"median", r, 0.5, 30 * time.Millisecond},
+		{"p99", r, 0.99, 50 * time.Millisecond},
+		{"max", r, 1.0, 50 * time.Millisecond},
+		{"below range clamps to min", r, -0.5, 10 * time.Millisecond},
+		{"above range clamps to max", r, 1.5, 50 * time.Millisecond},
+		{"+inf clamps to max", r, math.Inf(1), 50 * time.Millisecond},
+		{"-inf clamps to min", r, math.Inf(-1), 10 * time.Millisecond},
+		{"NaN is zero", r, math.NaN(), 0},
+		{"empty is zero", &Result{}, 0.5, 0},
+		{"single sample min", single, 0, 7 * time.Millisecond},
+		{"single sample median", single, 0.5, 7 * time.Millisecond},
+		{"single sample max", single, 1, 7 * time.Millisecond},
 	}
 	for _, tc := range cases {
-		if got := r.Quantile(tc.q); got != tc.want {
-			t.Fatalf("Quantile(%v) = %s, want %s", tc.q, got, tc.want)
+		if got := tc.r.Quantile(tc.q); got != tc.want {
+			t.Fatalf("%s: Quantile(%v) = %s, want %s", tc.name, tc.q, got, tc.want)
 		}
 	}
-	if (&Result{}).Quantile(0.5) != 0 {
-		t.Fatal("empty Quantile should be 0")
+	// Quantile must not mutate the recorded order (it sorts a copy).
+	if r.latencies[0] != 50*time.Millisecond || r.latencies[1] != 10*time.Millisecond {
+		t.Fatalf("Quantile reordered the underlying samples: %v", r.latencies)
+	}
+}
+
+// TestSlowestTraceTracksMaxLatency: the result keeps the X-Trace-Id of the
+// slowest successful request so a run can end with "pull this waterfall".
+func TestSlowestTraceTracksMaxLatency(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		w.Header().Set("X-Trace-Id", fmt.Sprintf("trace-%d", i))
+		if i == 2 {
+			time.Sleep(30 * time.Millisecond)
+		}
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{
+		URL: ts.URL, Mode: "closed", Concurrency: 1, MaxRequests: 3, Duration: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, lat := res.SlowestTrace()
+	if id != "trace-2" {
+		t.Fatalf("slowest trace = %q (latency %s), want trace-2", id, lat)
+	}
+	if lat < 30*time.Millisecond {
+		t.Fatalf("slowest latency = %s, want >= the 30ms sleep", lat)
+	}
+	if lat != res.Quantile(1) {
+		t.Fatalf("slowest latency %s != max quantile %s", lat, res.Quantile(1))
+	}
+}
+
+// TestSlowestTraceEmptyWithoutHeader: servers that don't trace leave the
+// field empty rather than recording a bogus id.
+func TestSlowestTraceEmptyWithoutHeader(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Options{URL: ts.URL, MaxRequests: 2, Duration: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := res.SlowestTrace(); id != "" {
+		t.Fatalf("slowest trace = %q, want empty when the server sends no X-Trace-Id", id)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"littleslaw/internal/metrics"
 	"littleslaw/internal/platform"
 	"littleslaw/internal/sim"
+	"littleslaw/internal/trace"
 )
 
 // FaultSite is the fault-injection point on the run spine: evaluated once
@@ -165,15 +166,24 @@ func Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 // a ConfigureHierarchy hook) execute directly. The returned result may be
 // shared with other callers; treat it as immutable.
 func (r *Runner) Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	// The "runner" span is the spine's own (exclusive) overhead —
+	// canonicalization and cache bookkeeping — noted with the cache
+	// outcome; the kernel itself reports as the "sim" stage from execute.
+	note := "miss"
+	a := trace.Begin(ctx, "runner")
+	defer func() { a.End(note) }()
 	norm, err := cfg.Normalized()
 	if err != nil {
+		note = "error"
 		return nil, err
 	}
 	key, cacheable, err := keyOfNormalized(norm)
 	if err != nil {
+		note = "error"
 		return nil, err
 	}
 	if !cacheable {
+		note = "bypass"
 		r.bypasses.Inc()
 		return r.execute(ctx, norm)
 	}
@@ -187,12 +197,15 @@ func (r *Runner) Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 		// surfacing chaos to the caller. The failed flight was already
 		// forgotten by the cache, so nothing stale lingers either way.
 		if faults.IsFault(err) && ctx.Err() == nil {
+			note = "fallback"
 			r.fallbacks.Inc()
 			return r.execute(ctx, norm)
 		}
+		note = "error"
 		return nil, err
 	}
 	if hit {
+		note = "hit"
 		r.hits.Inc()
 	} else {
 		r.misses.Inc()
@@ -204,7 +217,13 @@ func (r *Runner) execute(ctx context.Context, cfg sim.Config) (*sim.Result, erro
 	r.inflight.Inc()
 	begin := time.Now()
 	defer func() {
-		r.busyNs.Add(time.Since(begin).Nanoseconds())
+		busy := time.Since(begin)
+		// The kernel is a leaf stage: its span is the measured busy time
+		// itself — the same quantity the occupancy gauge accumulates, so
+		// the trace_stage_navg{stage="sim"} metric and
+		// <prefix>_littles_occupancy must reconcile.
+		trace.Add(ctx, "sim", "", 0, busy)
+		r.busyNs.Add(busy.Nanoseconds())
 		r.inflight.Dec()
 	}()
 	switch f := faults.Global().Eval(FaultSite); f.Kind {

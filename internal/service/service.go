@@ -37,6 +37,7 @@ import (
 	"littleslaw/internal/runner"
 	"littleslaw/internal/sim"
 	"littleslaw/internal/stream"
+	"littleslaw/internal/trace"
 	"littleslaw/internal/workloads"
 	"littleslaw/internal/xmem"
 )
@@ -95,6 +96,11 @@ type Config struct {
 	// hold a connection without imposing a whole-response deadline that
 	// would kill long-lived /v1/watch streams.
 	WriteTimeout time.Duration
+
+	// TraceCapacity bounds the ring of finished request traces served by
+	// GET /v1/trace/{id} and replayed by GET /v1/traces
+	// (0 = trace.DefaultCapacity).
+	TraceCapacity int
 
 	// FaultInjector is the fault layer the per-handler sites and the
 	// /v1/faults admin endpoint operate on (nil = faults.Global(), the
@@ -162,6 +168,9 @@ type Server struct {
 	sessions *limit.Sessions
 	faults   *faults.Injector
 
+	traces      *trace.Sink
+	traceBroker *stream.BrokerOf[trace.Record]
+
 	requests    *metrics.CounterVec
 	latency     *metrics.HistogramVec
 	inflight    *metrics.Gauge
@@ -190,6 +199,10 @@ func New(cfg Config) *Server {
 		watches:  map[string]*stream.Broker{},
 		faults:   cfg.FaultInjector,
 	}
+	s.traces = trace.NewSink(cfg.TraceCapacity)
+	s.traceBroker = stream.NewBrokerOf[trace.Record](cfg.TraceCapacity,
+		func(rec *trace.Record, seq int) { rec.Seq = seq })
+	s.traces.OnFinish = func(t *trace.Trace) { s.traceBroker.Publish(trace.Record{Trace: t.View()}) }
 	if cfg.LimitCeiling > 0 {
 		s.limiter = limit.New(limit.Config{
 			Ceiling:      cfg.LimitCeiling,
@@ -246,6 +259,11 @@ func New(cfg Config) *Server {
 	// isolated one — the table/tune pipelines always share the default), so
 	// its cache and occupancy telemetry belong on the service's scrape page.
 	cfg.SimRunner.Register(s.reg, "llserved_runner")
+	// The per-stage decomposition: λ, W and n_avg for every traced stage,
+	// the same busy-seconds-over-uptime construction as the runner's
+	// occupancy gauge — so llserved_trace_stage_navg{stage="sim"} and
+	// llserved_runner_littles_occupancy must agree.
+	s.traces.Register(s.reg, "llserved_trace")
 	s.reg.Derived("llserved_faults_enabled",
 		"1 when the fault-injection layer is evaluating rules, 0 when it is a no-op.",
 		func() float64 {
@@ -283,6 +301,11 @@ func New(cfg Config) *Server {
 	// and the kill switch must still answer.
 	s.mux.Handle("GET /v1/faults", http.HandlerFunc(s.handleFaultsGet))
 	s.mux.Handle("POST /v1/faults", http.HandlerFunc(s.handleFaultsPost))
+	// The trace endpoints likewise bypass the limiter and the tracer: the
+	// tool for diagnosing overload must answer during overload, and a trace
+	// of fetching a trace is noise.
+	s.mux.Handle("GET /v1/trace/{id}", http.HandlerFunc(s.handleTraceGet))
+	s.mux.Handle("GET /v1/traces", http.HandlerFunc(s.handleTraces))
 	return s
 }
 
@@ -369,38 +392,51 @@ func (s *Server) envelope(name string, fn func(w http.ResponseWriter, r *http.Re
 		s.inflight.Inc()
 		defer s.inflight.Dec()
 
+		// Every request gets a trace; the id header goes out even on errors
+		// so a client holding a 429 or 504 can still fetch the waterfall.
+		// The summary header is injected at first write (see statusWriter),
+		// when the spans recorded so far are known.
+		tr := s.traces.Start(name)
+		w.Header().Set("X-Trace-Id", tr.ID())
+		sw := &statusWriter{ResponseWriter: w, onFirstWrite: func(h http.Header) {
+			h.Set("X-Trace-Summary", tr.Summary())
+		}}
+
 		ctx, cancel, err := s.requestContext(r)
 		if err != nil {
-			s.finish(name, start, s.writeError(w, r, failWith(http.StatusBadRequest, err)))
+			s.finish(name, start, s.writeError(sw, r, failWith(http.StatusBadRequest, err)), tr)
 			return
 		}
 		defer cancel()
-		r = r.WithContext(ctx)
+		r = r.WithContext(trace.NewContext(ctx, tr))
 
 		// Admission happens under the request context, so a queued arrival
-		// waits at most min(queue deadline, request deadline).
+		// waits at most min(queue deadline, request deadline) — and under
+		// the trace, so the limiter records its queue wait as a span.
 		release, err := admit(r)
 		if err != nil {
-			s.finish(name, start, s.writeError(w, r, err))
+			s.finish(name, start, s.writeError(sw, r, err), tr)
 			return
 		}
 		defer release()
 
-		sw := &statusWriter{ResponseWriter: w}
-		if err := s.protect(name, sw, r, fn); err != nil {
+		h := tr.Begin("handler")
+		err = s.protect(name, sw, r, fn)
+		h.End("")
+		if err != nil {
 			if sw.status != 0 {
 				// The handler already started writing; nothing to salvage.
-				s.finish(name, start, sw.status)
+				s.finish(name, start, sw.status, tr)
 				return
 			}
-			s.finish(name, start, s.writeError(w, r, err))
+			s.finish(name, start, s.writeError(sw, r, err), tr)
 			return
 		}
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
 		}
-		s.finish(name, start, status)
+		s.finish(name, start, status, tr)
 	})
 }
 
@@ -429,7 +465,9 @@ func (s *Server) protect(name string, sw *statusWriter, r *http.Request, fn func
 	return fn(sw, r)
 }
 
-func (s *Server) finish(name string, start time.Time, status int) {
+func (s *Server) finish(name string, start time.Time, status int, tr *trace.Trace) {
+	tr.Finish(status, time.Since(start))
+	s.traces.Done(tr)
 	s.requests.With(name, strconv.Itoa(status)).Inc()
 	s.latency.With(name).Observe(time.Since(start).Seconds())
 }
@@ -510,15 +548,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// statusWriter records the first status code written.
+// statusWriter records the first status code written and gives the
+// envelope a last-moment hook to stamp headers (the trace summary) before
+// they go out.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status       int
+	onFirstWrite func(http.Header)
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+		if w.onFirstWrite != nil {
+			w.onFirstWrite(w.ResponseWriter.Header())
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -526,6 +570,9 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
+		if w.onFirstWrite != nil {
+			w.onFirstWrite(w.ResponseWriter.Header())
+		}
 	}
 	return w.ResponseWriter.Write(b)
 }

@@ -1,0 +1,116 @@
+// The /v1/trace endpoints: per-request latency decomposition over HTTP.
+// Every /v1/* response carries an X-Trace-Id; GET /v1/trace/{id} returns
+// that request's waterfall (spans with queue/service split) from the
+// bounded in-memory ring, and GET /v1/traces tails finished traces as
+// NDJSON through the same drop-oldest broker machinery as /v1/watch — a
+// slow tail reader loses old traces, never stalls the server.
+//
+// Both endpoints sit outside the admission controller and the tracer
+// itself: the tool for diagnosing overload must answer during overload.
+// The handlers are exported as ServeTrace/ServeTraceTail so llproxy serves
+// its own ring through the identical wire contract.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"littleslaw/internal/stream"
+	"littleslaw/internal/trace"
+)
+
+// maxTraceTail caps ?max= and ?buffer= on GET /v1/traces.
+const maxTraceTail = 1 << 16
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	s.armWrite(w)
+	ServeTrace(w, r, s.traces)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ServeTraceTail(w, r, s.traceBroker, s.armWrite)
+}
+
+// ServeTrace answers GET /v1/trace/{id}: the JSON waterfall for one
+// request, looked up in the sink's ring. 404 once the ring evicted it.
+func ServeTrace(w http.ResponseWriter, r *http.Request, sink *trace.Sink) {
+	id := r.PathValue("id")
+	t, ok := sink.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			ErrorResponse{Error: fmt.Sprintf("trace %q not retained (ring holds the last %d)", id, sink.Len())})
+		return
+	}
+	writeJSON(w, http.StatusOK, t.View())
+}
+
+// ServeTraceTail answers GET /v1/traces: an NDJSON tail of finished
+// traces. Retained history replays first, then live traces as requests
+// finish. ?max=N closes the stream after N records (default: tail until
+// the client disconnects); ?buffer=N sizes the subscriber's drop-oldest
+// buffer exactly as on /v1/watch. armWrite, if non-nil, is invoked before
+// each write to arm a per-write deadline.
+func ServeTraceTail(w http.ResponseWriter, r *http.Request, br *stream.BrokerOf[trace.Record], armWrite func(http.ResponseWriter)) {
+	if armWrite == nil {
+		armWrite = func(http.ResponseWriter) {}
+	}
+	maxRecords := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > maxTraceTail {
+			armWrite(w)
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("max must be in [1, %d]", maxTraceTail)})
+			return
+		}
+		maxRecords = parsed
+	}
+	buffer := 256
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > maxTraceTail {
+			armWrite(w)
+			writeJSON(w, http.StatusBadRequest,
+				ErrorResponse{Error: fmt.Sprintf("buffer must be in [1, %d]", maxTraceTail)})
+			return
+		}
+		buffer = parsed
+	}
+
+	sub := br.Subscribe(buffer)
+	defer sub.Close()
+
+	hardenHeaders(w.Header(), "application/x-ndjson", true)
+	armWrite(w)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case rec, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			// Per-write deadline, re-armed per record: a healthy tail can
+			// stay attached indefinitely, a stalled one is cut.
+			armWrite(w)
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+			sent++
+			if maxRecords > 0 && sent >= maxRecords {
+				return
+			}
+		}
+	}
+}

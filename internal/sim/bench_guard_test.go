@@ -1,0 +1,90 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"littleslaw/internal/platform"
+	"littleslaw/internal/runner"
+	"littleslaw/internal/trace"
+)
+
+// baselineAllocs reads BENCH_baseline.json at the repo root and returns the
+// largest recorded allocs/op per bench name — the budget the guard holds
+// the traced path to.
+func baselineAllocs(t *testing.T) map[string]int64 {
+	t.Helper()
+	data, err := os.ReadFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Skipf("no BENCH_baseline.json: %v", err)
+	}
+	var rows []struct {
+		Bench  string `json:"bench"`
+		Allocs int64  `json:"allocs_per_op"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("BENCH_baseline.json: %v", err)
+	}
+	max := map[string]int64{}
+	for _, r := range rows {
+		if r.Allocs > max[r.Bench] {
+			max[r.Bench] = r.Allocs
+		}
+	}
+	return max
+}
+
+// TestRunAllocsWithinBaselineTraced is the allocation guard on the traced
+// hot path: running the BenchmarkRun workloads through the runner spine
+// with an armed trace context must stay within 5% of the untraced
+// BENCH_baseline.json allocs/op. Tracing is a handful of spans per run —
+// if this trips, a span crept into a per-event or per-op loop.
+func TestRunAllocsWithinBaselineTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful under -short (race matrix)")
+	}
+	baseline := baselineAllocs(t)
+	run := runner.New(0)
+	for _, bc := range []struct {
+		name string
+		plat *platform.Platform
+		ops  int
+	}{
+		{"SKL_mix", platform.SKL(), 6000},
+		{"KNL_mix", platform.KNL(), 4000},
+	} {
+		want, ok := baseline[bc.name]
+		if !ok {
+			t.Fatalf("bench %q missing from BENCH_baseline.json", bc.name)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh trace per iteration, exactly as a request carries
+				// one; benchConfig has no fingerprint, so the runner's
+				// bypass path executes the kernel every time.
+				tr := trace.New(fmt.Sprintf("bench-%d", i), "bench")
+				ctx := trace.NewContext(b.Context(), tr)
+				out, err := run.Run(ctx, benchConfig(bc.plat, bc.ops))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Throughput <= 0 {
+					b.Fatal("no work measured")
+				}
+				if tr.Attributed() <= 0 {
+					b.Fatal("trace recorded nothing; the guard is not exercising the traced path")
+				}
+			}
+		})
+		got := res.AllocsPerOp()
+		limit := want + want/20 // +5%
+		t.Logf("%s: %d allocs/op traced, baseline %d (limit %d)", bc.name, got, want, limit)
+		if got > limit {
+			t.Errorf("%s: traced path allocates %d/op, above baseline %d +5%% (%d) — tracing overhead regressed",
+				bc.name, got, want, limit)
+		}
+	}
+}

@@ -5,20 +5,24 @@ import (
 	"sync/atomic"
 )
 
-// Broker fans a monitor's event stream out to many subscribers. Every
-// published event is retained (up to a history cap), so a subscriber that
-// attaches late replays the full sequence before tailing live events —
-// which is how N concurrent /v1/watch clients all observe identical
-// streams. A slow subscriber never blocks the publisher or its peers:
-// when a subscriber's buffer fills, its oldest undelivered event is
-// dropped and counted.
-type Broker struct {
+// BrokerOf fans a stream of T out to many subscribers. Every published
+// item is retained (up to a history cap), so a subscriber that attaches
+// late replays the full sequence before tailing live items — which is how
+// N concurrent clients all observe identical streams. A slow subscriber
+// never blocks the publisher or its peers: when a subscriber's buffer
+// fills, its oldest undelivered item is dropped and counted.
+//
+// The monitor's Broker is BrokerOf[Event]; the trace tail reuses the same
+// machinery as BrokerOf[trace.Record] — drop-oldest backpressure is a
+// property of the fan-out, not of the event type.
+type BrokerOf[T any] struct {
 	mu      sync.Mutex
-	history []Event
+	history []T
 	maxHist int
-	subs    map[*Subscriber]struct{}
+	subs    map[*SubscriberOf[T]]struct{}
 	closed  bool
 	seq     int
+	assign  func(*T, int) // stamps the sequence number into the item, if set
 
 	dropped atomic.Uint64
 	// OnPublish and OnDrop are optional metric hooks, called outside any
@@ -28,28 +32,44 @@ type Broker struct {
 	OnDrop    func()
 }
 
-// DefaultHistory bounds retained events when NewBroker is given 0.
+// Broker is the monitor-event broker: BrokerOf[Event] with Seq stamping.
+type Broker = BrokerOf[Event]
+
+// Subscriber is one consumer of a monitor-event broker.
+type Subscriber = SubscriberOf[Event]
+
+// DefaultHistory bounds retained events when a broker is given 0.
 const DefaultHistory = 8192
 
-// NewBroker builds a broker retaining up to maxHistory events (0 =
-// DefaultHistory). When the cap is exceeded the oldest history is
-// discarded; late subscribers then join mid-stream.
+// NewBroker builds an Event broker retaining up to maxHistory events
+// (0 = DefaultHistory), stamping each event's Seq at publish time. When
+// the cap is exceeded the oldest history is discarded; late subscribers
+// then join mid-stream.
 func NewBroker(maxHistory int) *Broker {
+	return NewBrokerOf[Event](maxHistory, func(ev *Event, seq int) { ev.Seq = seq })
+}
+
+// NewBrokerOf builds a broker for any item type. assign, if non-nil, is
+// called under the broker lock to stamp the per-broker sequence number
+// into each item before retention and delivery.
+func NewBrokerOf[T any](maxHistory int, assign func(*T, int)) *BrokerOf[T] {
 	if maxHistory <= 0 {
 		maxHistory = DefaultHistory
 	}
-	return &Broker{maxHist: maxHistory, subs: map[*Subscriber]struct{}{}}
+	return &BrokerOf[T]{maxHist: maxHistory, subs: map[*SubscriberOf[T]]struct{}{}, assign: assign}
 }
 
-// Publish assigns the event its sequence number, retains it and delivers
+// Publish assigns the item its sequence number, retains it and delivers
 // it to every subscriber. It never blocks.
-func (b *Broker) Publish(ev Event) {
+func (b *BrokerOf[T]) Publish(ev T) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
 	}
-	ev.Seq = b.seq
+	if b.assign != nil {
+		b.assign(&ev, b.seq)
+	}
 	b.seq++
 	b.history = append(b.history, ev)
 	if len(b.history) > b.maxHist {
@@ -67,7 +87,7 @@ func (b *Broker) Publish(ev Event) {
 
 // Close marks the stream complete and closes every subscriber channel
 // (buffered events remain readable). Further Publish calls are ignored.
-func (b *Broker) Close() {
+func (b *BrokerOf[T]) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -81,17 +101,17 @@ func (b *Broker) Close() {
 }
 
 // Dropped returns the total events dropped across all subscribers.
-func (b *Broker) Dropped() uint64 { return b.dropped.Load() }
+func (b *BrokerOf[T]) Dropped() uint64 { return b.dropped.Load() }
 
 // Events returns the number of events published so far.
-func (b *Broker) Events() int {
+func (b *BrokerOf[T]) Events() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.seq
 }
 
 // Closed reports whether the stream has completed.
-func (b *Broker) Closed() bool {
+func (b *BrokerOf[T]) Closed() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.closed
@@ -102,11 +122,11 @@ func (b *Broker) Closed() bool {
 // it exceeds the buffer and the subscriber has not started draining —
 // then live events as they are published. If the stream already
 // completed, the subscriber's channel closes once the history drains.
-func (b *Broker) Subscribe(buffer int) *Subscriber {
+func (b *BrokerOf[T]) Subscribe(buffer int) *SubscriberOf[T] {
 	if buffer <= 0 {
 		buffer = 256
 	}
-	s := &Subscriber{ch: make(chan Event, buffer)}
+	s := &SubscriberOf[T]{ch: make(chan T, buffer)}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, ev := range b.history {
@@ -121,24 +141,24 @@ func (b *Broker) Subscribe(buffer int) *Subscriber {
 	return s
 }
 
-// Subscriber is one consumer of a broker's event stream.
-type Subscriber struct {
-	ch      chan Event
-	broker  *Broker
+// SubscriberOf is one consumer of a broker's stream.
+type SubscriberOf[T any] struct {
+	ch      chan T
+	broker  *BrokerOf[T]
 	closed  sync.Once
 	dropped atomic.Uint64
 }
 
 // Events returns the subscriber's channel. It closes when the stream
 // completes or the subscriber is closed.
-func (s *Subscriber) Events() <-chan Event { return s.ch }
+func (s *SubscriberOf[T]) Events() <-chan T { return s.ch }
 
 // Dropped returns how many events this subscriber lost to backpressure.
-func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+func (s *SubscriberOf[T]) Dropped() uint64 { return s.dropped.Load() }
 
 // Close detaches the subscriber (a departed client) and closes its
 // channel. Safe to call multiple times and after the broker closed.
-func (s *Subscriber) Close() {
+func (s *SubscriberOf[T]) Close() {
 	b := s.broker
 	if b == nil {
 		s.closeLocked()
@@ -152,7 +172,7 @@ func (s *Subscriber) Close() {
 
 // closeLocked closes the channel exactly once. Callers must guarantee no
 // concurrent push — both paths hold the owning broker's lock.
-func (s *Subscriber) closeLocked() {
+func (s *SubscriberOf[T]) closeLocked() {
 	s.closed.Do(func() { close(s.ch) })
 }
 
@@ -160,7 +180,7 @@ func (s *Subscriber) closeLocked() {
 // while its buffer is full (drop-oldest backpressure). Called with the
 // broker lock held, so pushes are ordered; the consumer may drain
 // concurrently, which only helps.
-func (s *Subscriber) push(b *Broker, ev Event) {
+func (s *SubscriberOf[T]) push(b *BrokerOf[T], ev T) {
 	for {
 		select {
 		case s.ch <- ev:

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"littleslaw/internal/metrics"
+)
+
+// DefaultCapacity bounds the ring when NewSink is given 0.
+const DefaultCapacity = 256
+
+// Record is one finished trace as published to a tail stream (the NDJSON
+// body of GET /v1/traces). Seq is assigned by the broker at publish time.
+type Record struct {
+	Seq   int  `json:"seq"`
+	Trace View `json:"trace"`
+}
+
+// stageStat aggregates one stage across every trace the sink saw: the
+// span count (arrivals) and the total queue+service residence, from which
+// λ, W and n_avg all derive.
+type stageStat struct {
+	count uint64
+	ns    int64
+}
+
+// Sink owns a service's traces: it mints request traces, retains the last
+// capacity finished ones in a ring indexed by id, aggregates per-stage
+// λ/W/n_avg for /metrics, and hands finished traces to OnFinish (the
+// service publishes them to its tail broker there).
+type Sink struct {
+	capacity int
+	prefix   uint32
+	ctr      atomic.Uint64
+	start    time.Time
+
+	// OnFinish, if set before traffic, observes every finished trace
+	// handed to Done. It must not block.
+	OnFinish func(*Trace)
+
+	mu   sync.Mutex
+	ring []*Trace // circular once full
+	next int
+	byID map[string]*Trace
+
+	statsMu sync.Mutex
+	stats   map[string]*stageStat
+}
+
+// NewSink builds a sink retaining up to capacity finished traces
+// (0 = DefaultCapacity).
+func NewSink(capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	var seed [4]byte
+	rand.Read(seed[:])
+	return &Sink{
+		capacity: capacity,
+		prefix:   binary.BigEndian.Uint32(seed[:]),
+		start:    time.Now(),
+		byID:     make(map[string]*Trace, capacity),
+		stats:    make(map[string]*stageStat, 8),
+	}
+}
+
+// Start mints a trace for one request on the named route. The id is a
+// random per-sink prefix plus a counter — unique within the sink, cheap
+// enough for every request.
+func (s *Sink) Start(route string) *Trace {
+	if s == nil {
+		return nil
+	}
+	id := fmt.Sprintf("%08x%08x", s.prefix, uint32(s.ctr.Add(1)))
+	return &Trace{id: id, route: route, start: time.Now(), sink: s}
+}
+
+// Done retains a finished trace in the ring (evicting the oldest) and
+// notifies OnFinish. Traces not produced by this sink's Start are retained
+// all the same.
+func (s *Sink) Done(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.ring) < s.capacity {
+		s.ring = append(s.ring, t)
+	} else {
+		old := s.ring[s.next]
+		delete(s.byID, old.id)
+		s.ring[s.next] = t
+		s.next = (s.next + 1) % s.capacity
+	}
+	s.byID[t.id] = t
+	s.mu.Unlock()
+	if s.OnFinish != nil {
+		s.OnFinish(t)
+	}
+}
+
+// Get returns the retained trace with the given id.
+func (s *Sink) Get(id string) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+// Len returns how many finished traces the ring holds.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// observe feeds one span into the per-stage aggregates.
+func (s *Sink) observe(stage string, residence time.Duration) {
+	s.statsMu.Lock()
+	st := s.stats[stage]
+	if st == nil {
+		st = &stageStat{}
+		s.stats[stage] = st
+	}
+	st.count++
+	st.ns += residence.Nanoseconds()
+	s.statsMu.Unlock()
+}
+
+// StageRates returns per-stage (λ, W, n_avg): span arrivals per second of
+// sink uptime, mean residence seconds, and their product — which collapses
+// to stage-seconds/uptime, the same construction as the runner's occupancy
+// gauge, so the two must reconcile.
+func (s *Sink) StageRates() (lambda, w, navg map[string]float64) {
+	up := time.Since(s.start).Seconds()
+	lambda = map[string]float64{}
+	w = map[string]float64{}
+	navg = map[string]float64{}
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	for stage, st := range s.stats {
+		if st.count == 0 {
+			continue
+		}
+		sec := float64(st.ns) / 1e9
+		w[stage] = sec / float64(st.count)
+		if up > 0 {
+			lambda[stage] = float64(st.count) / up
+			navg[stage] = sec / up
+		}
+	}
+	return lambda, w, navg
+}
+
+// Register exposes the per-stage Little's-Law decomposition on reg under
+// prefix: <prefix>_stage_lambda, _stage_w_seconds and _stage_navg, each
+// labeled by stage. n_avg = λ·W per stage, derived exactly as the runner's
+// occupancy gauge (busy seconds over uptime) — DESIGN §11's audit pushed
+// down to every stage.
+func (s *Sink) Register(reg *metrics.Registry, prefix string) {
+	reg.DerivedVec(prefix+"_stage_lambda",
+		"Per-stage span arrival rate: spans observed per second of uptime.",
+		"stage", func() map[string]float64 { l, _, _ := s.StageRates(); return l })
+	reg.DerivedVec(prefix+"_stage_w_seconds",
+		"Per-stage mean residence W: queue wait plus service time per span.",
+		"stage", func() map[string]float64 { _, w, _ := s.StageRates(); return w })
+	reg.DerivedVec(prefix+"_stage_navg",
+		"Per-stage Little's-Law occupancy n_avg = lambda*W = stage seconds over uptime.",
+		"stage", func() map[string]float64 { _, _, n := s.StageRates(); return n })
+}
