@@ -4,13 +4,13 @@ GO ?= go
 # the determinism/race-cleanliness guarantees honest without paying for a
 # race-instrumented full-scale table regeneration (the experiments and
 # autotune packages only race-run their determinism tests for that reason).
-RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/ ./internal/cluster/ ./internal/trace/
+RACE_PKGS = ./internal/engine/ ./internal/runner/ ./internal/sim/ ./internal/xmem/ ./internal/service/ ./internal/stream/ ./internal/limit/ ./internal/loadgen/ ./internal/faults/ ./internal/client/ ./internal/cluster/ ./internal/trace/ ./internal/brownout/
 
 # Fuzz targets get a short deterministic smoke in CI; run them longer by hand
 # with, e.g., go test ./internal/tracefile -fuzz FuzzParse -fuzztime 5m.
 FUZZTIME ?= 10s
 
-.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest cluster-demo trace-demo
+.PHONY: all vet build test race test-chaos bench bench-stream bench-json fuzz lint check loadtest cluster-demo trace-demo brownout-demo
 
 all: check
 
@@ -37,7 +37,7 @@ CHAOS_COUNT ?= 1
 test-chaos:
 	$(GO) test -race -count $(CHAOS_COUNT) -timeout 15m \
 		-run 'TestChaos|TestFaultsDisabledIsNoOp|TestHandlerPanic' \
-		./internal/service/ ./internal/limit/ ./internal/cluster/
+		./internal/service/ ./internal/limit/ ./internal/cluster/ ./internal/brownout/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -127,6 +127,33 @@ cluster-demo:
 		-c 8 -duration $(CLUSTER_DURATION) -body '{"platform":"KNL","workload":"ISx","scale":0.02}'; \
 	echo "== llproxy per-backend view =="; \
 	curl -sf http://127.0.0.1:$(CLUSTER_PORT)/metrics | grep -E '^llproxy_(backend|requests|affinity|hedges|failovers)' || true; \
+	exit $$code
+
+# brownout-demo pushes llserved past its ceiling hard enough to climb the
+# brownout ladder: a deliberately small ceiling, a short runner TTL (so
+# expired cache entries exist for B1 stale serving), and a 4x-capacity
+# open-loop drive. The llload summary splits goodput into full-fidelity vs
+# degraded (stale/analytic) answers, and the controller's own view — rung,
+# transitions, time-in-mode — comes from /v1/brownout and /metrics.
+BROWNOUT_ADDR ?= 127.0.0.1:8142
+BROWNOUT_RATE ?= 400
+BROWNOUT_DURATION ?= 6s
+
+brownout-demo:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./cmd/llserved ./cmd/llload || { rm -rf $$tmp; exit 1; }; \
+	$$tmp/llserved -addr $(BROWNOUT_ADDR) -paper-profiles -limit-ceiling 4 -limit-queue 8 \
+		-limit-queue-timeout 50ms -runner-ttl 250ms & \
+	srv=$$!; trap 'kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; rm -rf '"$$tmp" EXIT; \
+	sleep 1; \
+	$$tmp/llload -url http://$(BROWNOUT_ADDR)/v1/analyze -mode open \
+		-rate $(BROWNOUT_RATE) -duration $(BROWNOUT_DURATION) -retries 2 \
+		-body '{"platform":"SKL","workload":"ISx","scale":0.02}'; \
+	code=$$?; \
+	echo "== GET /v1/brownout =="; \
+	curl -sf http://$(BROWNOUT_ADDR)/v1/brownout; echo; \
+	echo "== brownout controller metrics =="; \
+	curl -sf http://$(BROWNOUT_ADDR)/metrics | grep '^llserved_brownout' || true; \
 	exit $$code
 
 # trace-demo shows the per-request latency decomposition end to end: boot

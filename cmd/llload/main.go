@@ -134,6 +134,11 @@ func main() {
 	if res.RetryAfterSeen > 0 {
 		fmt.Printf("llload: %d sheds carried Retry-After hints\n", res.RetryAfterSeen)
 	}
+	if res.DegradedOK > 0 {
+		by := res.OKByMode()
+		fmt.Printf("llload: goodput split: %d full-fidelity + %d degraded (stale %d, analytic %d); degraded successes count as successes\n",
+			res.OK-res.DegradedOK, res.DegradedOK, by["stale"], by["analytic"])
+	}
 	if id, lat := res.SlowestTrace(); id != "" {
 		fmt.Printf("llload: slowest request %s took %s — GET /v1/trace/%s for its waterfall\n", id, lat.Round(time.Millisecond), id)
 	}

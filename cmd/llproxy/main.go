@@ -27,8 +27,16 @@
 // X-Backend-Trace-Id, the backend's own trace id for its /v1/trace ring.
 //
 // /v1/faults fans out to every backend so one call arms or disarms chaos
-// across the fleet. Shutdown is graceful: SIGINT/SIGTERM stop the listener
-// and wait for in-flight requests.
+// across the fleet. The probe loop also reads each backend's brownout mode
+// and draining flag from its /healthz body: draining backends stop
+// receiving traffic before their listeners close (rolling restarts lose
+// nothing), and backends degraded past B2 yield their affinity to
+// full-fidelity peers while any exist. X-Brownout-Mode and X-Degraded
+// response headers relay through untouched. Shutdown is graceful and
+// drain-aware: SIGINT/SIGTERM flips the proxy's own /healthz to
+// "draining", sheds new forwards with 503 + Retry-After, waits up to
+// -drain-timeout for in-flight requests with the listener open, then
+// closes.
 package main
 
 import (
@@ -64,6 +72,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server read timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to keep the listener open in draining mode (healthz reports draining, new forwards shed 503) before closing it")
 	faultSpec := flag.String("faults", "", "fault-injection spec for the proxy's own sites, e.g. 'seed=1;cluster.forward=error:0.1'")
 	traceCapacity := flag.Int("trace-capacity", 0, "finished forward traces retained for GET /v1/trace/{id} (0 = 256)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback admin address (e.g. "+debugmux.DefaultAddr+"; empty = disabled)")
@@ -144,6 +153,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Drain first, listener open: an upstream balancer's probe sees
+	// "draining" and reroutes before this process stops answering.
+	p.BeginDrain()
+	log.Printf("llproxy: draining (up to %s for %d in-flight requests, listener open)", *drainTimeout, p.InFlight())
+	drainDeadline := time.Now().Add(*drainTimeout)
+	for p.InFlight() > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
 	log.Printf("llproxy: shutting down (waiting up to %s for in-flight requests)", *shutdownGrace)
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()

@@ -33,6 +33,8 @@
 //	POST /v1/faults                  reconfigure or toggle fault injection
 //	GET  /v1/trace/{id}              one request's latency waterfall (JSON)
 //	GET  /v1/traces?max=N            NDJSON tail of finished traces
+//	GET  /v1/brownout                brownout controller state
+//	POST /v1/brownout                pin a brownout mode or unpin
 //
 // Every /v1/* response carries X-Trace-Id (fetchable from /v1/trace/{id})
 // and X-Trace-Summary, a one-line queue+service waterfall. -pprof serves
@@ -42,9 +44,15 @@
 // All endpoints accept ?timeout=30s. The /v1/* routes sit behind an
 // admission controller that applies the paper's own law to the server:
 // it tracks occupancy n_avg = Σ λ_route × W_route and sheds with 429 +
-// Retry-After past the -limit-ceiling (cmd/llload drives it). Shutdown is
-// graceful: SIGINT/SIGTERM stop the listener and wait for in-flight
-// requests.
+// Retry-After past the -limit-ceiling (cmd/llload drives it). On top of
+// the limiter sits the brownout ladder (internal/brownout): sustained
+// pressure steps the server through stale serving, analytic fallback and
+// selective shedding before anything fails outright; -no-brownout turns
+// it off. Shutdown is graceful and drain-aware: SIGINT/SIGTERM flips
+// /healthz to "draining" (llproxy stops routing here), sheds new work
+// with 503 + Retry-After, sends a terminal shutdown event to live
+// streams, waits up to -drain-timeout for in-flight requests with the
+// listener still open, then closes.
 package main
 
 import (
@@ -76,6 +84,9 @@ func main() {
 	paperProfiles := flag.Bool("paper-profiles", false, "serve the paper's published anchor curves instead of running the X-Mem characterization (instant, deterministic)")
 	warm := flag.Bool("warm", false, "characterize all platforms in the background at startup")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long to keep the listener open in draining mode (healthz reports draining, new work sheds 503) before closing it")
+	runnerTTL := flag.Duration("runner-ttl", 0, "simulation cache TTL; expired entries recompute normally but stay servable as marked-stale answers under brownout B1 (0 = never expires)")
+	noBrownout := flag.Bool("no-brownout", false, "disable the brownout ladder (requires admission control to be on to matter)")
 	limitCeiling := flag.Float64("limit-ceiling", 64, "admission controller's Little's-Law occupancy ceiling (negative disables admission control)")
 	limitQueue := flag.Int("limit-queue", 0, "admission queue depth (0 = 2×ceiling, negative = shed immediately)")
 	limitQueueTimeout := flag.Duration("limit-queue-timeout", 5*time.Second, "longest a request waits in the admission queue")
@@ -103,6 +114,8 @@ func main() {
 		MaxStreamClients:  *maxStreams,
 		WriteTimeout:      *writeTimeout,
 		TraceCapacity:     *traceCapacity,
+		RunnerTTL:         *runnerTTL,
+		DisableBrownout:   *noBrownout,
 	}
 	if *paperProfiles {
 		cfg.ProfileFor = func(_ context.Context, p *platform.Platform) (*queueing.Curve, error) {
@@ -166,6 +179,16 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Drain first, listener open: /healthz flips to "draining" so a proxy's
+	// prober reroutes before this process stops answering, new work sheds
+	// with 503 + Retry-After, live streams hear a terminal shutdown event,
+	// and in-flight requests get -drain-timeout to finish.
+	srv.BeginDrain()
+	log.Printf("llserved: draining (up to %s for %d in-flight requests, listener open)", *drainTimeout, srv.InFlight())
+	drainDeadline := time.Now().Add(*drainTimeout)
+	for srv.InFlight() > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
 	log.Printf("llserved: shutting down (waiting up to %s for in-flight requests)", *shutdownGrace)
 	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()

@@ -1,0 +1,270 @@
+package brownout
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic dwell tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testConfig(clk *fakeClock) Config {
+	cfg := DefaultConfig()
+	cfg.Now = clk.now
+	return cfg
+}
+
+func TestModeStringsRoundTrip(t *testing.T) {
+	for m := B0; m < NumModes; m++ {
+		for _, s := range []string{m.String(), m.Label(), strings.ToLower(m.String())} {
+			got, err := Parse(s)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", s, err)
+			}
+			if got != m {
+				t.Fatalf("Parse(%q) = %v, want %v", s, got, m)
+			}
+		}
+	}
+	if _, err := Parse("B9"); err == nil {
+		t.Fatalf("Parse(B9) should fail")
+	}
+	if B0.Degraded() {
+		t.Fatalf("B0 must not be degraded")
+	}
+	for m := B1; m < NumModes; m++ {
+		if !m.Degraded() {
+			t.Fatalf("%v must be degraded", m)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().withDefaults().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Exit[1] = bad.Enter[1] // no dead band
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatalf("Exit == Enter must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Enter[2] = bad.Enter[1] // not strictly increasing
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatalf("non-increasing Enter must be rejected")
+	}
+	if _, err := NewController(bad); err == nil {
+		t.Fatalf("NewController must reject invalid thresholds")
+	}
+}
+
+// TestDecideOneRungPerCall: no input jumps more than one rung.
+func TestDecideOneRungPerCall(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	for cur := B0; cur < NumModes; cur++ {
+		for _, dwell := range []time.Duration{0, cfg.DwellUp, cfg.DwellDown, time.Hour} {
+			for p := 0.0; p <= 4.0; p += 0.05 {
+				next := Decide(cur, dwell, p, cfg)
+				if next < cur-1 || next > cur+1 {
+					t.Fatalf("Decide(%v, %s, %g) = %v: moved more than one rung", cur, dwell, p, next)
+				}
+				if next < B0 || next >= NumModes {
+					t.Fatalf("Decide(%v, %s, %g) = %v: out of range", cur, dwell, p, next)
+				}
+			}
+		}
+	}
+}
+
+// TestDecideDeadBand: with Exit[i] < Enter[i], no single pressure value can
+// drive both an escalation and a de-escalation — even with infinite dwell.
+func TestDecideDeadBand(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	for p := 0.0; p <= 4.0; p += 0.01 {
+		for cur := B0; cur < NumModes; cur++ {
+			up := Decide(cur, time.Hour, p, cfg)
+			if up <= cur {
+				continue
+			}
+			// p escalated cur -> up; the same p must not de-escalate up.
+			back := Decide(up, time.Hour, p, cfg)
+			if back < up {
+				t.Fatalf("pressure %g escalates %v->%v and then de-escalates to %v: flapping", p, cur, up, back)
+			}
+		}
+	}
+}
+
+// TestPropertyTrajectories drives the controller with random pressure
+// trajectories and checks the hysteresis invariants on every transition:
+// escalations only after DwellUp, de-escalations only after DwellDown, one
+// rung at a time, and no opposite-direction pair inside one dwell window.
+func TestPropertyTrajectories(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clk := newFakeClock()
+		cfg := testConfig(clk)
+		c, err := NewController(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type transition struct {
+			at       time.Time
+			from, to Mode
+		}
+		var trans []transition
+		prev := c.Mode()
+		entered := clk.now()
+		pressure := 0.0
+		for step := 0; step < 4000; step++ {
+			// Random walk with occasional spikes and droughts.
+			switch rng.Intn(10) {
+			case 0:
+				pressure = rng.Float64() * 4
+			default:
+				pressure += rng.Float64()*0.6 - 0.3
+			}
+			if pressure < 0 {
+				pressure = 0
+			}
+			clk.advance(time.Duration(rng.Intn(200)) * time.Millisecond)
+			got := c.Observe(pressure)
+			if got != prev {
+				if got != prev+1 && got != prev-1 {
+					t.Fatalf("seed %d: jumped %v -> %v", seed, prev, got)
+				}
+				dwell := clk.now().Sub(entered)
+				if got == prev+1 && dwell < cfg.DwellUp {
+					t.Fatalf("seed %d: escalated %v->%v after %s < DwellUp %s", seed, prev, got, dwell, cfg.DwellUp)
+				}
+				if got == prev-1 && dwell < cfg.DwellDown {
+					t.Fatalf("seed %d: de-escalated %v->%v after %s < DwellDown %s", seed, prev, got, dwell, cfg.DwellDown)
+				}
+				trans = append(trans, transition{at: clk.now(), from: prev, to: got})
+				prev = got
+				entered = clk.now()
+			}
+		}
+		// No B1->B2->B1-style reversal inside one dwell window: consecutive
+		// opposite-direction transitions must be at least min(DwellUp,
+		// DwellDown) apart (in fact: a reversal down waits DwellDown, a
+		// reversal up waits DwellUp — check the direction-specific bound).
+		for i := 1; i < len(trans); i++ {
+			a, b := trans[i-1], trans[i]
+			upA, upB := a.to > a.from, b.to > b.from
+			if upA == upB {
+				continue
+			}
+			gap := b.at.Sub(a.at)
+			min := cfg.DwellUp
+			if !upB {
+				min = cfg.DwellDown
+			}
+			if gap < min {
+				t.Fatalf("seed %d: reversal %v->%v then %v->%v only %s apart (need %s)",
+					seed, a.from, a.to, b.from, b.to, gap, min)
+			}
+		}
+	}
+}
+
+// TestMonotoneDecreasingReturnsToB0: once load falls and keeps falling, the
+// controller always walks back down to B0.
+func TestMonotoneDecreasingReturnsToB0(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clk := newFakeClock()
+		cfg := testConfig(clk)
+		c, err := NewController(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Phase 1: drive it up somewhere random.
+		for i := 0; i < 200; i++ {
+			clk.advance(time.Duration(rng.Intn(300)) * time.Millisecond)
+			c.Observe(rng.Float64() * 4)
+		}
+		// Phase 2: monotonically decreasing pressure down to 0.
+		pressure := 4.0
+		for i := 0; i < 400 && pressure > 0; i++ {
+			clk.advance(100 * time.Millisecond)
+			pressure -= 0.01
+			if pressure < 0 {
+				pressure = 0
+			}
+			c.Observe(pressure)
+		}
+		// Phase 3: quiescent; give it dwell time to finish descending.
+		for i := 0; i < NumModes*int(cfg.DwellDown/(100*time.Millisecond))+10; i++ {
+			clk.advance(100 * time.Millisecond)
+			c.Observe(0)
+		}
+		if got := c.Mode(); got != B0 {
+			t.Fatalf("seed %d: monotone decreasing load ended at %v, want B0", seed, got)
+		}
+	}
+}
+
+func TestPinFreezesAndUnpinResumes(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewController(testConfig(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pin(B2); err != nil {
+		t.Fatal(err)
+	}
+	// Massive pressure cannot move a pinned controller.
+	for i := 0; i < 50; i++ {
+		clk.advance(time.Second)
+		if got := c.Observe(10); got != B2 {
+			t.Fatalf("pinned controller moved to %v", got)
+		}
+	}
+	snap := c.Snapshot()
+	if !snap.Pinned || snap.Mode != B2 {
+		t.Fatalf("snapshot = %+v, want pinned B2", snap)
+	}
+	c.Unpin()
+	// Dwell clock restarted: the very next Observe cannot transition.
+	if got := c.Observe(10); got != B2 {
+		t.Fatalf("mode jumped to %v immediately after Unpin", got)
+	}
+	// But with dwell it escalates normally again.
+	clk.advance(time.Second)
+	if got := c.Observe(10); got != B3 {
+		t.Fatalf("after dwell, mode = %v, want B3", got)
+	}
+	if err := c.Pin(Mode(99)); err == nil {
+		t.Fatalf("Pin(99) must fail")
+	}
+}
+
+func TestTimeInModeAccounting(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewController(testConfig(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Second)
+	c.Observe(2.0) // escalates to B1 (dwell 2s >= 500ms)
+	clk.advance(3 * time.Second)
+	snap := c.Snapshot()
+	if snap.TimeIn[B0] != 2*time.Second {
+		t.Fatalf("TimeIn[B0] = %s, want 2s", snap.TimeIn[B0])
+	}
+	if snap.TimeIn[B1] != 3*time.Second {
+		t.Fatalf("TimeIn[B1] = %s, want 3s", snap.TimeIn[B1])
+	}
+	if snap.Transitions != 1 {
+		t.Fatalf("Transitions = %d, want 1", snap.Transitions)
+	}
+	if snap.Dwell != 3*time.Second {
+		t.Fatalf("Dwell = %s, want 3s", snap.Dwell)
+	}
+}

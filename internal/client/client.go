@@ -131,6 +131,13 @@ type Result struct {
 	Hints int
 	// Latency is the final attempt's wall time.
 	Latency time.Duration
+	// Degraded is true when the server marked the answer as degraded
+	// content (stale cache or analytic approximation) via the X-Degraded
+	// response header.
+	Degraded bool
+	// BrownoutMode is the server's brownout rung at service time, from the
+	// X-Brownout-Mode response header ("" = full service).
+	BrownoutMode string
 }
 
 // Client is the resilient API client. Construct with New; all methods are
@@ -278,6 +285,8 @@ func (c *Client) Do(ctx context.Context, method, path, contentType string, body 
 		hint, hinted := time.Duration(0), false
 		if err == nil {
 			res.Status, res.Header, res.Body, res.Latency = status, header, respBody, lat
+			res.Degraded = header.Get("X-Degraded") == "true"
+			res.BrownoutMode = header.Get("X-Brownout-Mode")
 			if !retryable(status) {
 				return res, nil
 			}

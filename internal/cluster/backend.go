@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"littleslaw/internal/brownout"
 	"littleslaw/internal/client"
 )
 
@@ -64,6 +65,8 @@ type Backend struct {
 	// Health, from the prober.
 	healthy  bool
 	reported float64 // backend's own limiter n_avg from its last /healthz body
+	mode     brownout.Mode
+	draining bool
 	// Breaker.
 	state    BreakerState
 	fails    int
@@ -176,13 +179,24 @@ func (b *Backend) failure(now time.Time) {
 	b.mu.Unlock()
 }
 
-// probeOK records a healthy probe and the limiter occupancy the backend
-// reported about itself.
-func (b *Backend) probeOK(reportedNAvg float64) {
+// probeOK records a healthy probe and what the backend reported about
+// itself: its limiter occupancy, its brownout rung, and whether it is
+// draining for shutdown.
+func (b *Backend) probeOK(reportedNAvg float64, mode brownout.Mode, draining bool) {
 	b.success()
 	b.mu.Lock()
 	b.reported = reportedNAvg
+	b.mode = mode
+	b.draining = draining
 	b.mu.Unlock()
+}
+
+// degradation returns the backend's last-probed brownout mode and whether
+// it is draining — the routing penalties candidates applies.
+func (b *Backend) degradation() (brownout.Mode, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mode, b.draining
 }
 
 // snapshotState returns the breaker state and health for metrics.

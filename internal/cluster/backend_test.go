@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"littleslaw/internal/brownout"
 	"littleslaw/internal/queueing"
 )
 
@@ -102,7 +103,7 @@ func TestBackendLoadTakesWorstSignal(t *testing.T) {
 	b.complete(time.Millisecond, true)
 	// A probe reporting the backend's own limiter occupancy dominates when
 	// it is the largest term (load this proxy cannot see).
-	b.probeOK(7.5)
+	b.probeOK(7.5, brownout.B0, false)
 	if got := b.load(now); got != 7.5 {
 		t.Fatalf("load with reported n_avg 7.5 = %v, want 7.5", got)
 	}

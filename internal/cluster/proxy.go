@@ -32,8 +32,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"littleslaw/internal/brownout"
 	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/client"
 	"littleslaw/internal/faults"
@@ -160,15 +162,19 @@ type Proxy struct {
 	traces      *trace.Sink
 	traceBroker *stream.BrokerOf[trace.Record]
 
-	requests      *metrics.CounterVec
-	latency       *metrics.HistogramVec
-	inflight      *metrics.Gauge
-	hedges        *metrics.Counter
-	failovers     *metrics.Counter
-	overrides     *metrics.Counter
-	noBackend     *metrics.Counter
-	probeFailures *metrics.CounterVec
-	streamClients *metrics.GaugeVec
+	requests         *metrics.CounterVec
+	latency          *metrics.HistogramVec
+	inflight         *metrics.Gauge
+	hedges           *metrics.Counter
+	failovers        *metrics.Counter
+	overrides        *metrics.Counter
+	degradedReroutes *metrics.Counter
+	noBackend        *metrics.Counter
+	probeFailures    *metrics.CounterVec
+	streamClients    *metrics.GaugeVec
+
+	draining  atomic.Bool
+	drainOnce sync.Once
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -254,6 +260,8 @@ func (p *Proxy) registerMetrics() {
 		"Requests retried against another backend after a failure or retryable status.")
 	p.overrides = p.reg.Counter("llproxy_affinity_overrides_total",
 		"Requests routed away from their affinity owner because its estimated n_avg exceeded the ceiling.")
+	p.degradedReroutes = p.reg.Counter("llproxy_degraded_reroutes_total",
+		"Requests routed away from their affinity owner because it reported brownout B2+ while a full-fidelity backend was available.")
 	p.noBackend = p.reg.Counter("llproxy_no_backend_total",
 		"Requests shed with 503 because every backend's breaker was open.")
 	p.probeFailures = p.reg.CounterVec("llproxy_probe_failures_total",
@@ -303,6 +311,37 @@ func (p *Proxy) registerMetrics() {
 				m[b.Name] = float64(st)
 			}
 			return m
+		})
+	p.reg.DerivedVec("llproxy_backend_brownout_mode",
+		"Each backend's brownout rung from its last /healthz probe (0 = full service, 4 = full shed).",
+		"backend", func() map[string]float64 {
+			m := make(map[string]float64, len(p.order))
+			for _, b := range p.order {
+				mode, _ := b.degradation()
+				m[b.Name] = float64(mode)
+			}
+			return m
+		})
+	p.reg.DerivedVec("llproxy_backend_draining",
+		"1 when the backend's last probe reported it draining for shutdown.",
+		"backend", func() map[string]float64 {
+			m := make(map[string]float64, len(p.order))
+			for _, b := range p.order {
+				if _, draining := b.degradation(); draining {
+					m[b.Name] = 1
+				} else {
+					m[b.Name] = 0
+				}
+			}
+			return m
+		})
+	p.reg.Derived("llproxy_draining",
+		"1 once BeginDrain has been called on the proxy itself.",
+		func() float64 {
+			if p.draining.Load() {
+				return 1
+			}
+			return 0
 		})
 	p.reg.Derived("llproxy_littles_law_concurrency",
 		"The proxy's own n_avg from Little's Law: forwarded latency_sum over uptime.",
@@ -380,6 +419,39 @@ func (p *Proxy) Close() {
 	p.wg.Wait()
 }
 
+// BeginDrain flips the proxy into its terminal mode: /healthz reports
+// "draining" (an upstream balancer stops sending here), every new forward
+// — unary and stream — sheds with 503 + Retry-After, and the proxy's own
+// trace tail receives a terminal "shutdown" record before its broker
+// closes. Idempotent. The caller then polls InFlight to zero (up to its
+// drain deadline) before closing the listener; relayed streams end when
+// their clients or backends do, so a drain deadline still bounds them.
+func (p *Proxy) BeginDrain() {
+	p.drainOnce.Do(func() {
+		p.draining.Store(true)
+		p.traceBroker.Publish(trace.Record{Terminal: "shutdown"})
+		p.traceBroker.Close()
+	})
+}
+
+// Draining reports whether BeginDrain has been called.
+func (p *Proxy) Draining() bool { return p.draining.Load() }
+
+// InFlight returns the number of requests currently inside the proxy —
+// the quantity a draining main loop polls to zero.
+func (p *Proxy) InFlight() int64 { return p.inflight.Value() }
+
+// shedDraining answers a request with 503 + Retry-After when the proxy is
+// draining; true means the request was answered and must not be forwarded.
+func (p *Proxy) shedDraining(w http.ResponseWriter) bool {
+	if !p.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	p.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("proxy is draining for shutdown"))
+	return true
+}
+
 // ProbeAll health-checks every backend once, concurrently.
 func (p *Proxy) ProbeAll(ctx context.Context) {
 	var wg sync.WaitGroup
@@ -426,42 +498,82 @@ func (p *Proxy) probe(ctx context.Context, b *Backend) {
 		return
 	}
 	reported := 0.0
+	mode := brownout.B0
+	draining := false
 	var h service.HealthzResponse
 	// Tolerate non-JSON bodies: an older backend's plain "ok" is still up.
-	if json.Unmarshal(body, &h) == nil && h.LimiterNAvg != nil {
-		reported = *h.LimiterNAvg
+	if json.Unmarshal(body, &h) == nil {
+		if h.LimiterNAvg != nil {
+			reported = *h.LimiterNAvg
+		}
+		if h.BrownoutMode != "" {
+			if m, err := brownout.Parse(h.BrownoutMode); err == nil {
+				mode = m
+			}
+		}
+		draining = h.Draining || h.Status == "draining"
 	}
-	b.probeOK(reported)
+	b.probeOK(reported, mode, draining)
 }
 
 // ---- routing ----
 
 // candidates returns the backends that may serve a request with the given
 // affinity key, in preference order: the ring owner first (unless its
-// occupancy estimate exceeds the ceiling and the request is not pinned),
-// then the remaining eligible backends by ascending load. Pinned requests
-// (streams) always put the owner first — a subscriber must reach the
-// broker's host — and only breaker ineligibility reroutes them.
+// occupancy estimate exceeds the ceiling, or it has browned out past B2
+// while a full-fidelity backend is available, and the request is not
+// pinned), then the remaining eligible backends — non-degraded before
+// degraded, ascending load within each class. Backends whose last probe
+// reported draining are skipped entirely while any alternative exists:
+// their listener is about to close. Pinned requests (streams) always put
+// the owner first — a subscriber must reach the broker's host — and only
+// breaker or drain ineligibility reroutes them.
 //
 // The decision string names which rule chose the head candidate — "owner"
 // (affinity), "pinned", "spill" (owner over the occupancy ceiling),
-// "load" (no affinity identity) — and becomes the trace's route span.
+// "degraded" (owner browned out, fuller backend preferred), "load" (no
+// affinity identity) — and becomes the trace's route span.
 func (p *Proxy) candidates(key string, pinned bool) ([]*Backend, string) {
 	now := p.cfg.Now()
 	type cand struct {
-		b    *Backend
-		load float64
+		b        *Backend
+		load     float64
+		degraded bool
+		draining bool
 	}
 	elig := make([]cand, 0, len(p.order))
+	drainingN := 0
 	for _, b := range p.order {
-		if b.allow(now) {
-			elig = append(elig, cand{b, b.load(now)})
+		if !b.allow(now) {
+			continue
 		}
+		mode, draining := b.degradation()
+		if draining {
+			drainingN++
+		}
+		// B2+ means the backend would answer from the analytic model (or
+		// shed outright) — worth routing around; B1 still serves full or
+		// stale-but-real simulation results and keeps its affinity value.
+		elig = append(elig, cand{b, b.load(now), mode >= brownout.B2, draining})
 	}
 	if len(elig) == 0 {
 		return nil, ""
 	}
-	sort.SliceStable(elig, func(i, j int) bool { return elig[i].load < elig[j].load })
+	if drainingN > 0 && drainingN < len(elig) {
+		kept := elig[:0]
+		for _, c := range elig {
+			if !c.draining {
+				kept = append(kept, c)
+			}
+		}
+		elig = kept
+	}
+	sort.SliceStable(elig, func(i, j int) bool {
+		if elig[i].degraded != elig[j].degraded {
+			return !elig[i].degraded
+		}
+		return elig[i].load < elig[j].load
+	})
 	out := make([]*Backend, len(elig))
 	for i, c := range elig {
 		out[i] = c.b
@@ -481,13 +593,21 @@ func (p *Proxy) candidates(key string, pinned bool) ([]*Backend, string) {
 		return out, "load"
 	}
 	oi := 0
-	for i, b := range out {
-		if b.Name == owner {
+	for i, c := range elig {
+		if c.b.Name == owner {
 			oi = i
 			break
 		}
 	}
-	if !pinned && out[oi].load(now) >= p.cfg.OccupancyCeiling {
+	if !pinned && elig[oi].degraded && !elig[0].degraded {
+		// The owner would answer approximately; a warm cache is worth less
+		// than a full-fidelity answer elsewhere. The owner stays in the
+		// list as a failover candidate — an approximate answer still beats
+		// none.
+		p.degradedReroutes.Inc()
+		return out, "degraded"
+	}
+	if !pinned && elig[oi].load >= p.cfg.OccupancyCeiling {
 		// Join-least-n_avg spillover: the owner is drowning, the sorted
 		// order already leads with the least-loaded backend; the owner
 		// stays available as a later failover candidate.
@@ -569,6 +689,9 @@ func (p *Proxy) unary(route string, hedgeable bool) http.Handler {
 			p.traces.Done(tr)
 		}()
 		r = r.WithContext(trace.NewContext(r.Context(), tr))
+		if p.shedDraining(sw) {
+			return
+		}
 		body, err := io.ReadAll(http.MaxBytesReader(sw, r.Body, service.MaxBodyBytes))
 		if err != nil {
 			p.writeError(sw, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
@@ -812,7 +935,9 @@ func (p *Proxy) respond(w http.ResponseWriter, res *client.Result) {
 	h := w.Header()
 	h.Set("Content-Type", ct)
 	h.Set("X-Content-Type-Options", "nosniff")
-	for _, k := range []string{"Retry-After", "Cache-Control"} {
+	// Degradation markers relay untouched: a client behind the proxy must
+	// see the same brownout honesty a direct client would.
+	for _, k := range []string{"Retry-After", "Cache-Control", "X-Brownout-Mode", "X-Degraded"} {
 		if v := res.Header.Get(k); v != "" {
 			h.Set(k, v)
 		}
@@ -904,6 +1029,9 @@ func (p *Proxy) forwardStream(w http.ResponseWriter, r *http.Request, route, key
 		tr.Finish(status, time.Since(start))
 		p.traces.Done(tr)
 	}()
+	if p.shedDraining(w) {
+		return
+	}
 	if !p.forwardFault(w, r) {
 		return
 	}
@@ -1024,14 +1152,22 @@ type BackendHealth struct {
 	// ReportedNAvg is the backend's own limiter occupancy from its last
 	// probe body.
 	ReportedNAvg float64 `json:"reported_navg"`
+	// BrownoutMode is the backend's brownout rung from its last probe body
+	// ("B0".."B4"; "B0" when the backend predates brownout).
+	BrownoutMode string `json:"brownout_mode"`
+	// Draining is true once the backend reported it is draining for
+	// shutdown; the proxy stops routing to it.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // HealthResponse is the proxy's GET /healthz body.
 type HealthResponse struct {
 	// Status is "ok" while at least one backend accepts traffic,
-	// "degraded" otherwise (still 200: the proxy itself is alive).
+	// "degraded" otherwise, "draining" once BeginDrain has been called
+	// (still 200: the proxy itself is alive).
 	Status   string          `json:"status"`
 	Version  string          `json:"version"`
+	Draining bool            `json:"draining,omitempty"`
 	Backends []BackendHealth `json:"backends"`
 }
 
@@ -1045,6 +1181,7 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		b.mu.Lock()
 		reported := b.reported
+		mode, draining := b.mode, b.draining
 		b.mu.Unlock()
 		resp.Backends = append(resp.Backends, BackendHealth{
 			Name:         b.Name,
@@ -1053,7 +1190,15 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Breaker:      st.String(),
 			NAvg:         b.navg(now),
 			ReportedNAvg: reported,
+			BrownoutMode: mode.String(),
+			Draining:     draining,
 		})
+	}
+	if p.draining.Load() {
+		// Drain wins: upstream load balancers must stop sending here even
+		// while the backends themselves are fine.
+		resp.Status = "draining"
+		resp.Draining = true
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")

@@ -143,6 +143,33 @@ func (l *LRU[K, V]) Put(key K, val V) {
 	l.mu.Unlock()
 }
 
+// Peek returns the completed value for key without computing anything: a
+// hit only when the entry exists, has resolved, and resolved without error.
+// In-flight computations report a miss rather than blocking — Peek is the
+// read path for callers that must answer *now* (stale serving under
+// brownout) and cannot afford to join a flight. A hit still refreshes
+// recency, since serving a value is using it.
+func (l *LRU[K, V]) Peek(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var zero V
+	el, ok := l.m[key]
+	if !ok {
+		return zero, false
+	}
+	f := el.Value.(*lruEntry[K, V]).f
+	select {
+	case <-f.done:
+	default:
+		return zero, false
+	}
+	if f.err != nil {
+		return zero, false
+	}
+	l.order.MoveToFront(el)
+	return f.val, true
+}
+
 // Forget drops a key so the next Do re-executes.
 func (l *LRU[K, V]) Forget(key K) {
 	l.mu.Lock()

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"littleslaw/internal/brownout"
 	"littleslaw/internal/client"
 )
 
@@ -218,6 +219,15 @@ type Result struct {
 	Sent, OK, Shed, Failed int64
 	// Retries counts extra attempts beyond each arrival's first.
 	Retries int64
+	// DegradedOK counts the subset of OK whose response the server marked
+	// degraded (X-Degraded: a stale cache entry or an analytic
+	// approximation). Goodput proper is OK - DegradedOK; a brownout run
+	// reports both because a degraded answer is still an answer.
+	DegradedOK int64
+	// okByMode buckets OK by serving fidelity, keyed by the brownout rung
+	// label: "full" (B0 or no brownout), "stale" (B1), "analytic" (B2),
+	// "degraded" for an unparseable marker.
+	okByMode map[string]int64
 	// RetryAfterSeen counts retryable responses that carried a Retry-After
 	// hint.
 	RetryAfterSeen int64
@@ -249,6 +259,18 @@ func (r *Result) PerTarget() []TargetCounts {
 	out := make([]TargetCounts, len(r.perTarget))
 	for i, tc := range r.perTarget {
 		out[i] = *tc
+	}
+	return out
+}
+
+// OKByMode snapshots the success counts bucketed by serving fidelity
+// ("full", "stale", "analytic"). Empty until the first success.
+func (r *Result) OKByMode() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.okByMode))
+	for k, v := range r.okByMode {
+		out[k] = v
 	}
 	return out
 }
@@ -293,19 +315,27 @@ func (r *Result) Successes() int {
 func (r *Result) String() string {
 	r.mu.Lock()
 	sent, ok, shed, failed := r.Sent, r.OK, r.Shed, r.Failed
-	retries, elapsed := r.Retries, r.Elapsed
+	retries, elapsed, degraded := r.Retries, r.Elapsed, r.DegradedOK
+	stale, analytic := r.okByMode["stale"], r.okByMode["analytic"]
 	r.mu.Unlock()
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(ok) / elapsed.Seconds()
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"sent %d  ok %d  shed %d  failed %d  retries %d  |  p50 %s  p90 %s  p99 %s  |  %.1f ok/s",
 		sent, ok, shed, failed, retries,
 		r.Quantile(0.50).Round(time.Millisecond/10),
 		r.Quantile(0.90).Round(time.Millisecond/10),
 		r.Quantile(0.99).Round(time.Millisecond/10),
 		rate)
+	if degraded > 0 {
+		// The goodput split only appears when the server actually browned
+		// out, so non-brownout runs keep the historical summary shape.
+		s += fmt.Sprintf("  |  degraded %d (full %d  stale %d  analytic %d)",
+			degraded, ok-degraded, stale, analytic)
+	}
+	return s
 }
 
 func (r *Result) record(outcome func(*Result), lat time.Duration) {
@@ -454,9 +484,25 @@ func arrival(ctx context.Context, tg *target, o *Options, res *Result) {
 	switch {
 	case cr.Status >= 200 && cr.Status < 300:
 		traceID := cr.Header.Get("X-Trace-Id")
+		// A degraded 2xx is still a success — the whole point of the
+		// brownout ladder — but it lands in its own fidelity bucket.
+		bucket := "full"
+		if cr.Degraded {
+			bucket = "degraded"
+			if m, err := brownout.Parse(cr.BrownoutMode); err == nil {
+				bucket = m.Label()
+			}
+		}
 		res.record(func(r *Result) {
 			r.OK++
 			tg.counts.OK++
+			if cr.Degraded {
+				r.DegradedOK++
+			}
+			if r.okByMode == nil {
+				r.okByMode = make(map[string]int64, 3)
+			}
+			r.okByMode[bucket]++
 			if traceID != "" && cr.Latency >= r.slowestLat {
 				r.slowestTrace, r.slowestLat = traceID, cr.Latency
 			}

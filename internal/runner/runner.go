@@ -117,31 +117,64 @@ type Stats struct {
 	// Fallbacks counts cache entries poisoned by an injected fault that
 	// were degraded to a direct re-execution.
 	Fallbacks uint64
-	InFlight  int64 // simulations executing right now
+	// StaleServes counts expired cache entries knowingly served by
+	// RunStale under brownout; Expirations counts expired entries Run
+	// dropped and recomputed.
+	StaleServes uint64
+	Expirations uint64
+	InFlight    int64 // simulations executing right now
 	// Occupancy is the Little's-Law average number of simulations in
 	// flight since the Runner was built: busy_seconds / uptime.
 	Occupancy float64
+}
+
+// entry is a cached result plus its completion time, so a TTL can
+// distinguish fresh from expired without a second map.
+type entry struct {
+	res *sim.Result
+	at  time.Time
 }
 
 // Runner executes node simulations through a singleflight LRU cache.
 // Cached *sim.Result values are shared between callers and must be treated
 // as immutable.
 type Runner struct {
-	cache *engine.LRU[Key, *sim.Result]
+	cache *engine.LRU[Key, entry]
+	ttl   atomic.Int64 // nanoseconds; 0 = entries never expire
 
-	hits      metrics.Counter
-	misses    metrics.Counter
-	bypasses  metrics.Counter
-	fallbacks metrics.Counter
-	inflight  metrics.Gauge
-	busyNs    atomic.Int64
-	start     time.Time
+	hits        metrics.Counter
+	misses      metrics.Counter
+	bypasses    metrics.Counter
+	fallbacks   metrics.Counter
+	staleServes metrics.Counter
+	expirations metrics.Counter
+	inflight    metrics.Gauge
+	busyNs      atomic.Int64
+	start       time.Time
+	now         func() time.Time // test hook; time.Now by default
 }
 
 // New builds a Runner retaining at most capacity completed results
 // (capacity <= 0 means unbounded).
 func New(capacity int) *Runner {
-	return &Runner{cache: engine.NewLRU[Key, *sim.Result](capacity), start: time.Now()}
+	return &Runner{cache: engine.NewLRU[Key, entry](capacity), start: time.Now(), now: time.Now}
+}
+
+// SetTTL bounds how long a cached result counts as fresh. Zero (the
+// default) disables expiry entirely — the seed behaviour. With a TTL set,
+// Run drops and recomputes expired entries, while RunStale may serve them
+// marked stale when the brownout ladder asks for cheap answers.
+func (r *Runner) SetTTL(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.ttl.Store(int64(d))
+}
+
+// expired reports whether e is past the TTL.
+func (r *Runner) expired(e entry) bool {
+	ttl := r.ttl.Load()
+	return ttl > 0 && r.now().Sub(e.at) > time.Duration(ttl)
 }
 
 // defaultCapacity bounds the process-wide cache. A full six-table
@@ -187,30 +220,73 @@ func (r *Runner) Run(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 		r.bypasses.Inc()
 		return r.execute(ctx, norm)
 	}
-	res, hit, err := r.cache.Do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
-		return r.execute(ctx, norm)
-	})
-	if err != nil {
-		// Graceful degradation: a flight that failed because the fault
-		// layer poisoned it (not because the config is bad or the context
-		// expired) is retried as a direct, uncached run rather than
-		// surfacing chaos to the caller. The failed flight was already
-		// forgotten by the cache, so nothing stale lingers either way.
-		if faults.IsFault(err) && ctx.Err() == nil {
-			note = "fallback"
-			r.fallbacks.Inc()
-			return r.execute(ctx, norm)
+	// The retry loop exists only for TTL expiry: a hit on an expired entry
+	// drops it and goes around once more, which then misses and recomputes.
+	// Concurrent re-seeding can cost at most one extra lap, so the bound is
+	// a formality.
+	for attempt := 0; ; attempt++ {
+		e, hit, err := r.cache.Do(ctx, key, func(ctx context.Context) (entry, error) {
+			res, err := r.execute(ctx, norm)
+			return entry{res: res, at: r.now()}, err
+		})
+		if err != nil {
+			// Graceful degradation: a flight that failed because the fault
+			// layer poisoned it (not because the config is bad or the context
+			// expired) is retried as a direct, uncached run rather than
+			// surfacing chaos to the caller. The failed flight was already
+			// forgotten by the cache, so nothing stale lingers either way.
+			if faults.IsFault(err) && ctx.Err() == nil {
+				note = "fallback"
+				r.fallbacks.Inc()
+				return r.execute(ctx, norm)
+			}
+			note = "error"
+			return nil, err
 		}
-		note = "error"
-		return nil, err
+		if hit && r.expired(e) && attempt < 3 {
+			r.expirations.Inc()
+			r.cache.Forget(key)
+			continue
+		}
+		if hit {
+			note = "hit"
+			r.hits.Inc()
+		} else {
+			r.misses.Inc()
+		}
+		return e.res, nil
 	}
-	if hit {
-		note = "hit"
-		r.hits.Inc()
-	} else {
-		r.misses.Inc()
+}
+
+// RunStale is Run's brownout sibling: it serves any completed cache entry
+// for cfg — fresh or expired — without ever waiting on an in-flight
+// computation, and only pays for an execution when the cache holds nothing
+// at all. The second return reports whether the answer is stale (past the
+// TTL), which the caller must surface to its own caller as a degradation
+// marker. Fresh answers and cache misses behave exactly like Run.
+func (r *Runner) RunStale(ctx context.Context, cfg sim.Config) (res *sim.Result, stale bool, err error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, false, err
 	}
-	return res, nil
+	key, cacheable, err := keyOfNormalized(norm)
+	if err != nil {
+		return nil, false, err
+	}
+	if cacheable {
+		if e, ok := r.cache.Peek(key); ok {
+			if r.expired(e) {
+				trace.Add(ctx, "runner", "stale", 0, 0)
+				r.staleServes.Inc()
+				return e.res, true, nil
+			}
+			trace.Add(ctx, "runner", "hit", 0, 0)
+			r.hits.Inc()
+			return e.res, false, nil
+		}
+	}
+	res, err = r.Run(ctx, cfg)
+	return res, false, err
 }
 
 func (r *Runner) execute(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
@@ -249,12 +325,14 @@ func (r *Runner) Len() int { return r.cache.Len() }
 // Stats snapshots the Runner's counters.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Hits:      r.hits.Value(),
-		Misses:    r.misses.Value(),
-		Bypasses:  r.bypasses.Value(),
-		Fallbacks: r.fallbacks.Value(),
-		InFlight:  r.inflight.Value(),
-		Occupancy: r.occupancy(),
+		Hits:        r.hits.Value(),
+		Misses:      r.misses.Value(),
+		Bypasses:    r.bypasses.Value(),
+		Fallbacks:   r.fallbacks.Value(),
+		StaleServes: r.staleServes.Value(),
+		Expirations: r.expirations.Value(),
+		InFlight:    r.inflight.Value(),
+		Occupancy:   r.occupancy(),
 	}
 }
 
@@ -281,6 +359,12 @@ func (r *Runner) Register(reg *metrics.Registry, prefix string) {
 	reg.DerivedCounter(prefix+"_fault_fallbacks_total",
 		"Cached flights poisoned by an injected fault and degraded to a direct re-execution.",
 		r.fallbacks.Value)
+	reg.DerivedCounter(prefix+"_stale_serves_total",
+		"Expired cache entries knowingly served by RunStale under brownout.",
+		r.staleServes.Value)
+	reg.DerivedCounter(prefix+"_expirations_total",
+		"Expired cache entries dropped and recomputed by Run.",
+		r.expirations.Value)
 	reg.Derived(prefix+"_inflight",
 		"Simulations executing right now (directly sampled).",
 		func() float64 { return float64(r.inflight.Value()) })

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTTLExpiryRecomputes: with a TTL set, Run drops an expired entry and
+// recomputes; without one, the seed behaviour (entries never expire) holds.
+func TestTTLExpiryRecomputes(t *testing.T) {
+	var execs atomic.Int64
+	cfg := countingConfig("test/ttl", &execs)
+	r := New(8)
+	clock := time.Unix(1_700_000_000, 0)
+	r.now = func() time.Time { return clock }
+
+	if _, err := r.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("execs = %d, want 1", got)
+	}
+	// No TTL: arbitrarily later the entry is still fresh.
+	clock = clock.Add(24 * time.Hour)
+	if _, err := r.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("execs after no-TTL revisit = %d, want 1 (hit)", got)
+	}
+
+	r.SetTTL(time.Minute)
+	clock = clock.Add(2 * time.Minute)
+	if _, err := r.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("execs after expiry = %d, want 2 (recompute)", got)
+	}
+	st := r.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("Expirations = %d, want 1", st.Expirations)
+	}
+	// Fresh again right after the recompute.
+	if _, err := r.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("execs after fresh revisit = %d, want 2", got)
+	}
+}
+
+// TestRunStaleServesExpired: RunStale hands back an expired entry, marked
+// stale, without executing anything; Run on the same key recomputes.
+func TestRunStaleServesExpired(t *testing.T) {
+	var execs atomic.Int64
+	cfg := countingConfig("test/stale", &execs)
+	r := New(8)
+	clock := time.Unix(1_700_000_000, 0)
+	r.now = func() time.Time { return clock }
+	r.SetTTL(time.Minute)
+
+	want, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(5 * time.Minute)
+
+	res, stale, err := r.RunStale(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stale {
+		t.Fatalf("expired entry not marked stale")
+	}
+	if res != want {
+		t.Fatalf("stale serve returned a different result pointer")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("execs = %d, want 1 (stale serve must not execute)", got)
+	}
+	if st := r.Stats(); st.StaleServes != 1 {
+		t.Fatalf("StaleServes = %d, want 1", st.StaleServes)
+	}
+
+	// A fresh entry serves unmarked.
+	if _, err := r.Run(context.Background(), cfg); err != nil { // recomputes
+		t.Fatal(err)
+	}
+	res2, stale2, err := r.RunStale(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale2 {
+		t.Fatalf("fresh entry marked stale")
+	}
+	if res2 == nil {
+		t.Fatalf("nil result from fresh RunStale")
+	}
+}
+
+// TestRunStaleMissExecutes: with nothing cached, RunStale behaves exactly
+// like Run — it executes and the answer is not stale.
+func TestRunStaleMissExecutes(t *testing.T) {
+	var execs atomic.Int64
+	cfg := countingConfig("test/stale-miss", &execs)
+	r := New(8)
+
+	res, stale, err := r.RunStale(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Fatalf("cache miss marked stale")
+	}
+	if res == nil {
+		t.Fatalf("nil result")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("execs = %d, want 1", got)
+	}
+}

@@ -341,6 +341,16 @@ type AnalyzeResponse struct {
 	Report      ReportJSON `json:"report"`
 	Run         *RunJSON   `json:"run,omitempty"`
 	Explanation string     `json:"explanation"`
+	// Degraded marks a brownout answer: the report is still correct for
+	// the question asked, but it was produced by a cheaper path. Exactly
+	// one of Approximate (closed-form analytic model instead of the
+	// discrete-event kernel; Run is absent) or Stale (an expired cache
+	// entry served past its TTL) explains why, and BrownoutMode names the
+	// ladder rung that chose it.
+	Degraded     bool   `json:"degraded,omitempty"`
+	BrownoutMode string `json:"brownout_mode,omitempty"`
+	Approximate  bool   `json:"approximate,omitempty"`
+	Stale        bool   `json:"stale,omitempty"`
 }
 
 // AdviceJSON is one recipe verdict.
@@ -355,6 +365,11 @@ type AdviseResponse struct {
 	Report      ReportJSON   `json:"report"`
 	Advice      []AdviceJSON `json:"advice"`
 	Explanation string       `json:"explanation"`
+	// Degraded/BrownoutMode/Approximate/Stale: see AnalyzeResponse.
+	Degraded     bool   `json:"degraded,omitempty"`
+	BrownoutMode string `json:"brownout_mode,omitempty"`
+	Approximate  bool   `json:"approximate,omitempty"`
+	Stale        bool   `json:"stale,omitempty"`
 }
 
 // CharacterizeResponse is the output of /v1/characterize.
@@ -432,11 +447,17 @@ type ErrorResponse struct {
 // process serves); the body lets a cluster prober distinguish "up" from
 // "drowning" by reading the limiter's live Little's-Law occupancy.
 type HealthzResponse struct {
-	// Status is "ok", or "overloaded" when the admission controller's
+	// Status is "ok"; "overloaded" when the admission controller's
 	// occupancy estimate has reached its ceiling (requests are queueing or
-	// shedding; the process is still alive).
+	// shedding; the process is still alive); or "draining" once shutdown
+	// began — draining wins, it tells the prober to route elsewhere now.
 	Status  string `json:"status"`
 	Version string `json:"version"`
+	// BrownoutMode is the degradation rung currently serving ("B0".."B4";
+	// empty when the brownout controller is disabled). Draining reports
+	// that shutdown has begun and new work is being refused.
+	BrownoutMode string `json:"brownout_mode,omitempty"`
+	Draining     bool   `json:"draining,omitempty"`
 	// LimiterNAvg is the admission controller's live n_avg = Σ λ·W
 	// (absent when admission control is disabled).
 	LimiterNAvg     *float64 `json:"limiter_navg,omitempty"`

@@ -94,10 +94,19 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) erro
 		return err
 	}
 	resp := BatchAnalyzeResponse{Results: results}
+	degraded := false
 	for _, res := range results {
 		if res.Error != "" {
 			resp.Errors++
 		}
+		if res.Analyze != nil && res.Analyze.Degraded {
+			degraded = true
+		}
+	}
+	if degraded {
+		// Any degraded item marks the whole batch on the wire; per-item
+		// markers stay in the body.
+		w.Header().Set("X-Degraded", "true")
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 	return nil

@@ -22,9 +22,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"littleslaw/internal/analytic"
 	"littleslaw/internal/autotune"
+	"littleslaw/internal/brownout"
 	"littleslaw/internal/buildinfo"
 	"littleslaw/internal/core"
 	"littleslaw/internal/engine"
@@ -87,6 +90,18 @@ type Config struct {
 	// LimitQueueTimeout is the per-request deadline while queued for
 	// admission (0 = 5s; the request's own deadline also applies).
 	LimitQueueTimeout time.Duration
+	// Brownout tunes the degradation ladder (zero fields take the
+	// brownout defaults). The controller exists whenever admission control
+	// is on — its pressure signal is the limiter's occupancy estimate —
+	// unless DisableBrownout opts out (the binary-shedding baseline).
+	Brownout        brownout.Config
+	DisableBrownout bool
+	// RunnerTTL bounds how long the simulation runner's cached results
+	// count as fresh: past it, B0 recomputes and B1 serves them marked
+	// stale (0 = entries never expire, the seed behaviour — B1 then only
+	// differs from B0 for entries that never expire, i.e. not at all, so
+	// set a TTL when enabling brownout).
+	RunnerTTL time.Duration
 	// MaxStreamClients caps concurrent /v1/watch connections — streams are
 	// limited by subscriber count, not latency, because a healthy stream
 	// lasts as long as its client (0 = 64; negative disables the cap).
@@ -167,6 +182,15 @@ type Server struct {
 	limiter  *limit.Limiter
 	sessions *limit.Sessions
 	faults   *faults.Injector
+	brownout *brownout.Controller
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	liveMu    sync.Mutex
+	// liveStreams tracks ad-hoc watch brokers (unnamed streams) still
+	// serving their originating request, so BeginDrain can send them the
+	// terminal shutdown event; named brokers live in watches.
+	liveStreams map[*stream.Broker]struct{}
 
 	traces      *trace.Sink
 	traceBroker *stream.BrokerOf[trace.Record]
@@ -191,13 +215,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{
-		cfg:      cfg,
-		reg:      cfg.Registry,
-		profiles: engine.NewLRU[string, *queueing.Curve](cfg.ProfileCacheSize),
-		tables:   engine.NewLRU[tableKey, *experiments.Table](cfg.TableCacheSize),
-		runners:  engine.NewLRU[float64, *experiments.Runner](cfg.RunnerCacheSize),
-		watches:  map[string]*stream.Broker{},
-		faults:   cfg.FaultInjector,
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		profiles:    engine.NewLRU[string, *queueing.Curve](cfg.ProfileCacheSize),
+		tables:      engine.NewLRU[tableKey, *experiments.Table](cfg.TableCacheSize),
+		runners:     engine.NewLRU[float64, *experiments.Runner](cfg.RunnerCacheSize),
+		watches:     map[string]*stream.Broker{},
+		liveStreams: map[*stream.Broker]struct{}{},
+		faults:      cfg.FaultInjector,
+	}
+	if cfg.RunnerTTL > 0 {
+		cfg.SimRunner.SetTTL(cfg.RunnerTTL)
 	}
 	s.traces = trace.NewSink(cfg.TraceCapacity)
 	s.traceBroker = stream.NewBrokerOf[trace.Record](cfg.TraceCapacity,
@@ -212,6 +240,16 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxStreamClients > 0 {
 		s.sessions = limit.NewSessions(cfg.MaxStreamClients)
+	}
+	// The brownout controller rides on the limiter: its pressure signal is
+	// the limiter's occupancy estimate, so without admission control there
+	// is nothing to observe and the ladder stays off.
+	if s.limiter != nil && !cfg.DisableBrownout {
+		ctrl, err := brownout.NewController(cfg.Brownout)
+		if err != nil {
+			panic(fmt.Sprintf("service: invalid brownout config: %v", err))
+		}
+		s.brownout = ctrl
 	}
 	s.requests = s.reg.CounterVec("llserved_requests_total",
 		"Completed HTTP requests by handler and status code.", "handler", "code")
@@ -254,6 +292,20 @@ func New(cfg Config) *Server {
 			"Arrivals admitted by the limiter (immediately or after queueing).",
 			func() uint64 { return s.limiter.Snapshot().Admitted })
 	}
+	if s.brownout != nil {
+		s.brownout.Register(s.reg, "llserved_brownout")
+		s.reg.Derived("llserved_brownout_pressure",
+			"The brownout controller's input: max(inflight+queued, n_avg) / ceiling.",
+			s.pressure)
+	}
+	s.reg.Derived("llserved_draining",
+		"1 once shutdown drain began (healthz reports draining, new work sheds), else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
 	// The simulation spine's own instrumentation: analyze requests bottom
 	// out in the server's runner (runner.Default() unless the config
 	// isolated one — the table/tune pipelines always share the default), so
@@ -303,9 +355,15 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/faults", http.HandlerFunc(s.handleFaultsPost))
 	// The trace endpoints likewise bypass the limiter and the tracer: the
 	// tool for diagnosing overload must answer during overload, and a trace
-	// of fetching a trace is noise.
+	// of fetching a trace is noise. The single-trace lookup stays alive at
+	// every brownout rung for the same reason; only the tail stream
+	// (long-lived, non-critical) sheds at B3 — handleTraces checks itself.
 	s.mux.Handle("GET /v1/trace/{id}", http.HandlerFunc(s.handleTraceGet))
 	s.mux.Handle("GET /v1/traces", http.HandlerFunc(s.handleTraces))
+	// The brownout admin surface is admin-tier like /v1/faults: reading or
+	// pinning the ladder must work while the ladder is shedding.
+	s.mux.Handle("GET /v1/brownout", http.HandlerFunc(s.handleBrownoutGet))
+	s.mux.Handle("POST /v1/brownout", http.HandlerFunc(s.handleBrownoutPost))
 	return s
 }
 
@@ -408,6 +466,34 @@ func (s *Server) envelope(name string, fn func(w http.ResponseWriter, r *http.Re
 			return
 		}
 		defer cancel()
+
+		// Drain wins over everything: once shutdown began, every /v1
+		// request sheds with 503 + Retry-After so a proxy fails it over
+		// and a rolling restart stays invisible to clients.
+		if s.Draining() {
+			s.admissions.With(name, "drained").Inc()
+			s.finish(name, start, s.writeError(sw, r, errDraining()), tr)
+			return
+		}
+
+		// Every request is a pressure sample for the brownout ladder; the
+		// resulting mode is stamped on the response (even on sheds — it is
+		// the explanation), threaded through context so resolveAnalyze can
+		// pick the cheaper path, and noted on the trace so waterfalls show
+		// why an answer was analytic or stale.
+		mode := s.observeMode()
+		if mode > brownout.B0 {
+			sw.Header().Set("X-Brownout-Mode", mode.String())
+			tr.Add("brownout", mode.String(), 0, 0)
+		}
+		if mode >= shedAt(name) {
+			s.admissions.With(name, "brownout_shed").Inc()
+			s.finish(name, start, s.writeError(sw, r, failWithRetry(http.StatusServiceUnavailable,
+				fmt.Errorf("brownout %s (%s): route %q shed", mode, mode.Label(), name),
+				brownoutRetryAfter)), tr)
+			return
+		}
+		ctx = withMode(ctx, mode)
 		r = r.WithContext(trace.NewContext(ctx, tr))
 
 		// Admission happens under the request context, so a queued arrival
@@ -659,6 +745,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			h.Status = "overloaded"
 		}
 	}
+	if s.brownout != nil {
+		// The probe is a pressure sample too: a backend whose only traffic
+		// is probes still descends the ladder as load drains away.
+		h.BrownoutMode = s.observeMode().String()
+	}
+	if s.Draining() {
+		// Draining wins over overloaded: it tells the prober this backend
+		// is leaving, not merely busy.
+		h.Status = "draining"
+		h.Draining = true
+	}
 	s.watchMu.Lock()
 	h.ActiveStreams = len(s.watches)
 	s.watchMu.Unlock()
@@ -722,20 +819,49 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) erro
 	return nil
 }
 
+// degradation describes how an answer was cheapened under brownout: the
+// mode that chose the path, and which marker (Approximate for the
+// closed-form analytic model, Stale for an expired cache entry) the
+// response must carry. The zero value is a full-fidelity answer.
+type degradation struct {
+	Mode        brownout.Mode
+	Approximate bool
+	Stale       bool
+}
+
+// Degraded reports whether any marker is set.
+func (d degradation) Degraded() bool { return d.Approximate || d.Stale }
+
+// stamp copies the degradation markers into an analyze response.
+func (d degradation) stampAnalyze(resp *AnalyzeResponse) {
+	if d.Degraded() {
+		resp.Degraded = true
+		resp.BrownoutMode = d.Mode.String()
+		resp.Approximate = d.Approximate
+		resp.Stale = d.Stale
+	}
+}
+
 // resolveAnalyze turns an AnalyzeRequest into (platform, measurement,
 // optional run, optional workload) — running the simulation when the
-// request names a workload instead of supplying counters.
-func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*platform.Platform, core.Measurement, *sim.Result, workloads.Workload, error) {
+// request names a workload instead of supplying counters. Under brownout
+// the simulation step degrades: at B1 the runner may serve an expired
+// cache entry (marked Stale), at B2+ the closed-form analytic model
+// replaces the kernel entirely (marked Approximate, no Run in the
+// response). Direct-measurement requests never involve the kernel and are
+// never degraded.
+func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*platform.Platform, core.Measurement, *sim.Result, workloads.Workload, degradation, error) {
+	var deg degradation
 	p, err := platform.ByName(req.Platform)
 	if err != nil {
-		return nil, core.Measurement{}, nil, nil, failWith(http.StatusNotFound, err)
+		return nil, core.Measurement{}, nil, nil, deg, failWith(http.StatusNotFound, err)
 	}
 	if req.Measurement != nil {
-		return p, req.Measurement.Measurement(), nil, nil, nil
+		return p, req.Measurement.Measurement(), nil, nil, deg, nil
 	}
 	w, ok := workloads.ByName(req.Workload)
 	if !ok {
-		return nil, core.Measurement{}, nil, nil, failWith(http.StatusNotFound,
+		return nil, core.Measurement{}, nil, nil, deg, failWith(http.StatusNotFound,
 			fmt.Errorf("unknown workload %q", req.Workload))
 	}
 	w = w.WithVariant(req.Variant.Variant())
@@ -744,16 +870,41 @@ func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*plat
 		threads = 1
 	}
 	if threads > p.SMTWays {
-		return nil, core.Measurement{}, nil, nil, failWith(http.StatusBadRequest,
+		return nil, core.Measurement{}, nil, nil, deg, failWith(http.StatusBadRequest,
 			fmt.Errorf("platform %s supports at most %d threads per core", p.Name, p.SMTWays))
 	}
 	scale := req.Scale
 	if scale == 0 {
 		scale = 0.1
 	}
-	res, err := s.cfg.SimRunner.Run(ctx, w.Config(p, threads, scale))
+	mode := modeFrom(ctx)
+
+	if mode >= brownout.B2 {
+		// Analytic fallback: answer from the closed-form fixed point
+		// instead of the kernel — ~10^3× cheaper, within the ablation
+		// tolerance of the simulated answer on the golden configs, and
+		// always marked Approximate.
+		m, err := s.analyticMeasurement(ctx, p, w, threads, scale)
+		if err != nil {
+			return nil, core.Measurement{}, nil, nil, deg, err
+		}
+		deg = degradation{Mode: mode, Approximate: true}
+		return p, m, nil, w, deg, nil
+	}
+
+	cfgSim := w.Config(p, threads, scale)
+	var res *sim.Result
+	if mode == brownout.B1 {
+		var stale bool
+		res, stale, err = s.cfg.SimRunner.RunStale(ctx, cfgSim)
+		if stale {
+			deg = degradation{Mode: mode, Stale: true}
+		}
+	} else {
+		res, err = s.cfg.SimRunner.Run(ctx, cfgSim)
+	}
 	if err != nil {
-		return nil, core.Measurement{}, nil, nil, err
+		return nil, core.Measurement{}, nil, nil, degradation{}, err
 	}
 	m := core.Measurement{
 		Routine:                w.Routine(),
@@ -763,13 +914,48 @@ func (s *Server) resolveAnalyze(ctx context.Context, req *AnalyzeRequest) (*plat
 		PrefetchedReadFraction: res.PrefetchedReadFraction,
 		RandomAccess:           w.RandomAccess(),
 	}
-	return p, m, res, w, nil
+	return p, m, res, w, deg, nil
+}
+
+// analyticMeasurement is the B2 path: predict the workload's operating
+// point with the closed-form model and shape it as a measurement for the
+// same downstream core.Analyze the kernel path feeds. The demand
+// concurrency comes from the normalized sim config's window (the per-
+// thread MLP the generator would expose), so the analytic question matches
+// the simulated one.
+func (s *Server) analyticMeasurement(ctx context.Context, p *platform.Platform, w workloads.Workload, threads int, scale float64) (core.Measurement, error) {
+	norm, err := w.Config(p, threads, scale).Normalized()
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	profile, _, err := s.profile(ctx, p)
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	a := trace.Begin(ctx, "analytic")
+	pred, err := analytic.Predict(p, profile, analytic.Inputs{
+		ConcurrencyPerThread: float64(norm.Window),
+		ThreadsPerCore:       threads,
+		L1Bound:              w.RandomAccess(),
+	})
+	a.End("predict")
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	return core.Measurement{
+		Routine:                w.Routine(),
+		BandwidthGBs:           pred.BandwidthGBs,
+		ActiveCores:            p.Cores,
+		ThreadsPerCore:         threads,
+		PrefetchedReadFraction: -1,
+		RandomAccess:           w.RandomAccess(),
+	}, nil
 }
 
 // analyzeOne runs one analyze request to a response — the shared core of
 // /v1/analyze and /v1/analyze/batch.
 func (s *Server) analyzeOne(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
-	p, m, res, _, err := s.resolveAnalyze(ctx, req)
+	p, m, res, _, deg, err := s.resolveAnalyze(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -785,6 +971,7 @@ func (s *Server) analyzeOne(ctx context.Context, req *AnalyzeRequest) (*AnalyzeR
 	if res != nil {
 		resp.Run = runJSON(res)
 	}
+	deg.stampAnalyze(resp)
 	return resp, nil
 }
 
@@ -801,6 +988,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if resp.Degraded {
+		w.Header().Set("X-Degraded", "true")
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }
@@ -814,7 +1004,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return failWith(http.StatusBadRequest, err)
 	}
-	p, m, _, wl, err := s.resolveAnalyze(r.Context(), req)
+	p, m, _, wl, deg, err := s.resolveAnalyze(r.Context(), req)
 	if err != nil {
 		return err
 	}
@@ -831,6 +1021,13 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) error {
 		caps = wl.Capabilities(p, m.ThreadsPerCore)
 	}
 	resp := AdviseResponse{Report: reportJSON(rep), Explanation: core.Explain(rep)}
+	if deg.Degraded() {
+		resp.Degraded = true
+		resp.BrownoutMode = deg.Mode.String()
+		resp.Approximate = deg.Approximate
+		resp.Stale = deg.Stale
+		w.Header().Set("X-Degraded", "true")
+	}
 	for _, a := range core.Advise(rep, caps) {
 		resp.Advice = append(resp.Advice, AdviceJSON{
 			Optimization: a.Opt.String(),

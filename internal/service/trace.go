@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"littleslaw/internal/brownout"
 	"littleslaw/internal/stream"
 	"littleslaw/internal/trace"
 )
@@ -30,6 +31,18 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	// The tail is a long-lived non-critical stream: it sheds at B3+ like
+	// the watch routes (the single-trace lookup above stays admin-tier).
+	// It is registered outside the envelope, so the tier check is local.
+	if mode := s.observeMode(); mode >= brownout.B3 && !s.Draining() {
+		w.Header().Set("X-Brownout-Mode", mode.String())
+		s.writeError(w, r, failWithRetry(http.StatusServiceUnavailable,
+			fmt.Errorf("brownout %s (%s): trace tail shed", mode, mode.Label()), brownoutRetryAfter))
+		return
+	}
+	// During drain the tail stays subscribable just long enough to hear
+	// the terminal shutdown record: the broker is already closed, so a new
+	// subscriber replays history (ending in the terminal record) and EOFs.
 	ServeTraceTail(w, r, s.traceBroker, s.armWrite)
 }
 

@@ -280,6 +280,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) error {
 		if err := s.registerWatch(req.Stream, br); err != nil {
 			return err
 		}
+	} else {
+		// Ad-hoc streams must still hear the terminal shutdown event on
+		// drain; named ones are reachable through the watch registry.
+		defer s.trackStream(br)()
 	}
 
 	// The monitor runs on the request context: if the originating client

@@ -16,9 +16,13 @@ const DefaultCapacity = 256
 
 // Record is one finished trace as published to a tail stream (the NDJSON
 // body of GET /v1/traces). Seq is assigned by the broker at publish time.
+// Terminal, when set, marks the last record a draining server will ever
+// publish ("shutdown") so tailing clients can distinguish a graceful close
+// from a dropped connection; terminal records carry no trace.
 type Record struct {
-	Seq   int  `json:"seq"`
-	Trace View `json:"trace"`
+	Seq      int    `json:"seq"`
+	Trace    View   `json:"trace"`
+	Terminal string `json:"terminal,omitempty"`
 }
 
 // stageStat aggregates one stage across every trace the sink saw: the
